@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench figures quick-figures examples clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full test run recorded to test_output.txt (what CI would archive).
+test-record:
+	go test -count=1 ./... 2>&1 | tee test_output.txt
+
+bench:
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every table and figure of the paper (minutes).
+figures:
+	go run ./cmd/fsbench all
+
+quick-figures:
+	go run ./cmd/fsbench -quick all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/webserver -cores 8 -ms 50
+	go run ./examples/proxy -cores 8 -ms 50
+	go run ./examples/production -hour 10
+	go run ./examples/attack
+
+clean:
+	rm -f test_output.txt bench_output.txt sim.pcap

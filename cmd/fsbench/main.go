@@ -1,0 +1,153 @@
+// Command fsbench regenerates every table and figure of the paper's
+// evaluation (§4) against the simulated kernels:
+//
+//	fsbench figure3    production-trace CPU utilization replay (+capacity)
+//	fsbench figure4a   Nginx throughput vs cores
+//	fsbench figure4b   HAProxy throughput vs cores
+//	fsbench table1     lockstat contention counts per feature set
+//	fsbench figure5    NIC delivery features: throughput, L3 miss, locality
+//	fsbench all        everything above
+//
+// Results are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fastsocket/internal/experiment"
+	"fastsocket/internal/sim"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: fsbench [flags] <experiment>...
+
+experiments:
+  figure3    24h production-trace replay: per-core CPU utilization box
+             plots and the effective-capacity improvement (§4.2.1)
+  figure4a   Nginx connections/s vs cores for base 2.6.32 / 3.13 /
+             Fastsocket (§4.2.2)
+  figure4b   HAProxy connections/s vs cores (§4.2.3)
+  table1     lock contention counts per Fastsocket feature set (§4.2.4)
+  figure5    packet-delivery configurations: throughput, L3 miss rate
+             (5a) and local packet proportion (5b) (§4.2.4)
+  longlived  keep-alive contrast validating §1's claim that long-lived
+             connections do not hit the scalability wall
+  synflood   spoofed SYN flood with and without tcp_syncookies (the
+             "Security" production requirement of §1)
+  ablation   each Fastsocket component's contribution in isolation
+  all        run everything
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	var (
+		warmupMS  = flag.Int("warmup", 400, "warmup per measurement (simulated ms)")
+		windowMS  = flag.Int("window", 400, "measurement window (simulated ms)")
+		conc      = flag.Int("concurrency", 500, "client connections in flight per server core")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		coresFlag = flag.String("cores", "", "comma-separated core counts for figure4 (default 1,4,8,12,16,20,24)")
+		quick     = flag.Bool("quick", false, "small windows for a fast smoke run")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	o := experiment.Options{
+		Warmup:             sim.Time(*warmupMS) * sim.Millisecond,
+		Window:             sim.Time(*windowMS) * sim.Millisecond,
+		ConcurrencyPerCore: *conc,
+		Seed:               *seed,
+	}
+	f3 := experiment.Figure3Options{Seed: *seed}
+	if *quick {
+		o.Warmup = 15 * sim.Millisecond
+		o.Window = 40 * sim.Millisecond
+		o.ConcurrencyPerCore = 150
+		f3.HourLen = 8 * sim.Millisecond
+	}
+	cores := parseCores(*coresFlag)
+
+	run := map[string]func(){
+		"figure3": func() {
+			fmt.Print(experiment.Figure3(f3).Format())
+		},
+		"figure4a": func() {
+			r := experiment.Figure4(experiment.WebBench, cores, o)
+			fmt.Print(r.Format())
+			fmt.Print(r.Chart())
+		},
+		"figure4b": func() {
+			r := experiment.Figure4(experiment.ProxyBench, cores, o)
+			fmt.Print(r.Format())
+			fmt.Print(r.Chart())
+		},
+		"table1": func() {
+			fmt.Print(experiment.Table1(o).Format())
+		},
+		"figure5": func() {
+			fmt.Print(experiment.Figure5(o).Format())
+		},
+		"longlived": func() {
+			fmt.Print(experiment.LongLived(24, 100, o).Format())
+		},
+		"synflood": func() {
+			fmt.Print(experiment.SynFlood(0, o).Format())
+		},
+		"ablation": func() {
+			fmt.Print(experiment.Ablation(o).Format())
+		},
+	}
+	order := []string{"figure3", "figure4a", "figure4b", "table1", "figure5", "longlived", "synflood", "ablation"}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	for _, name := range args {
+		name = strings.ToLower(name)
+		// figure5a and figure5b are two panels of one experiment.
+		if name == "figure5a" || name == "figure5b" || name == "capacity" {
+			switch name {
+			case "capacity":
+				name = "figure3"
+			default:
+				name = "figure5"
+			}
+		}
+		fn, ok := run[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fsbench: unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("(%s completed in %v wall time)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func parseCores(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "fsbench: bad core count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

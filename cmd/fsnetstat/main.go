@@ -1,0 +1,91 @@
+// Command fsnetstat demonstrates the §3.4 compatibility argument:
+// system tools that read /proc (netstat, lsof) keep working under
+// Fastsocket-aware VFS because the socket fast path retains the inode
+// state they need.
+//
+// It boots a Fastsocket machine running the web-server benchmark,
+// lets traffic flow for a few simulated milliseconds, freezes the
+// simulation, and prints the /proc/net/tcp view plus a per-state
+// summary — sockets in every state, with valid inode numbers, even
+// though dentry/inode initialization was skipped on the fast path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsocket/internal/app"
+	"fastsocket/internal/kernel"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/trace"
+)
+
+func main() {
+	var (
+		cores    = flag.Int("cores", 4, "CPU cores of the simulated machine")
+		modeStr  = flag.String("mode", "fastsocket", "kernel: base2632 | linux313 | fastsocket")
+		runMS    = flag.Int("run", 5, "simulated milliseconds of traffic before the snapshot")
+		pcapPath = flag.String("pcap", "", "also dump the packet trace to this file (tcpdump/wireshark readable)")
+	)
+	flag.Parse()
+
+	var mode kernel.Mode
+	var feat kernel.Features
+	switch *modeStr {
+	case "base2632":
+		mode = kernel.Base2632
+	case "linux313":
+		mode = kernel.Linux313
+	case "fastsocket":
+		mode = kernel.Fastsocket
+		feat = kernel.FullFastsocket()
+	default:
+		fmt.Fprintf(os.Stderr, "fsnetstat: unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+
+	loop := sim.NewLoop()
+	netw := app.NewNetwork(loop, 20*sim.Microsecond)
+	k := kernel.New(loop, kernel.Config{Cores: *cores, Mode: mode, Feat: feat})
+	netw.AttachKernel(k)
+	var ring *trace.Ring
+	if *pcapPath != "" {
+		ring = trace.NewRing(65536, loop.Now, nil)
+		k.SetTracer(ring)
+	}
+	srv := app.NewWebServer(k, app.WebServerConfig{})
+	srv.Start()
+	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+		Targets:     []netproto.Addr{{IP: k.IPs()[0], Port: 80}},
+		Concurrency: 8 * *cores,
+	})
+	cli.Start()
+	loop.RunUntil(sim.Time(*runMS) * sim.Millisecond)
+
+	fmt.Printf("fsnetstat — simulated /proc/net/tcp of a %d-core %s kernel (t=%v, %d requests served)\n\n",
+		*cores, mode, loop.Now(), srv.Served)
+	fmt.Print(k.FormatProcNetTCP())
+	fmt.Println("\nSockets by state:")
+	for state, n := range k.SocketSummary() {
+		fmt.Printf("  %-12s %d\n", state, n)
+	}
+	fmt.Printf("\nVFS mode: %v — live socket inodes registered: %d\n",
+		k.VFS().Mode(), len(k.VFS().ProcEntries()))
+
+	if ring != nil {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsnetstat: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := ring.WritePcap(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fsnetstat: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("packet trace: %d packets written to %s (tcpdump -nn -r %s)\n",
+			len(ring.Events()), *pcapPath, *pcapPath)
+	}
+}

@@ -1,0 +1,13 @@
+// Package fastsocket is a reproduction, in simulation, of
+// "Scalable Kernel TCP Design and Implementation for Short-Lived
+// Connections" (ASPLOS 2016).
+//
+// The module contains a deterministic discrete-event model of a
+// multicore machine running a kernel TCP stack in three behaviour
+// profiles (Linux 2.6.32, Linux 3.13 with SO_REUSEPORT, and
+// Fastsocket), the benchmark applications the paper evaluates
+// (an Nginx-like web server and an HAProxy-like proxy), and a harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// Start with the README, then examples/quickstart, then cmd/fsbench.
+package fastsocket

@@ -1,0 +1,3 @@
+module fastsocket
+
+go 1.22

@@ -1,0 +1,162 @@
+package app
+
+import (
+	"bytes"
+
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+// Backend is the synthetic origin server behind the proxy benchmark:
+// it accepts connections, reads one request, answers a constant page
+// (64 bytes in the paper's HAProxy test) and closes. Like HTTPLoad it
+// has infinite capacity, so the proxy machine is the bottleneck.
+type Backend struct {
+	loop *sim.Loop
+	net  *Network
+	rng  *sim.Rand
+
+	addr         netproto.Addr
+	responseLen  int
+	serviceDelay sim.Time
+
+	conns map[netproto.FourTuple]*backConn
+
+	// Results.
+	Requests uint64
+}
+
+type backConn struct {
+	local, remote  netproto.Addr
+	sndNxt, rcvNxt uint32
+	established    bool
+	req            []byte
+	respSent       bool
+	finSent        bool
+	finRcvd        bool
+	finAcked       bool
+}
+
+// BackendConfig configures the origin.
+type BackendConfig struct {
+	Addr         netproto.Addr
+	ResponseLen  int      // default 64+headers? No: total bytes on the wire; default 256
+	ServiceDelay sim.Time // origin think time per request
+	Seed         uint64
+}
+
+// NewBackend builds the origin and attaches it to the fabric.
+func NewBackend(loop *sim.Loop, net *Network, cfg BackendConfig) *Backend {
+	if cfg.ResponseLen == 0 {
+		// "a backend server sending a constant 64-byte page": 64-byte
+		// body plus minimal headers.
+		cfg.ResponseLen = 192
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	b := &Backend{
+		loop:         loop,
+		net:          net,
+		rng:          sim.NewRand(cfg.Seed),
+		addr:         cfg.Addr,
+		responseLen:  cfg.ResponseLen,
+		serviceDelay: cfg.ServiceDelay,
+		conns:        map[netproto.FourTuple]*backConn{},
+	}
+	net.Attach(b, cfg.Addr.IP)
+	return b
+}
+
+// Live reports the live connection count (tests).
+func (b *Backend) Live() int { return len(b.conns) }
+
+func (b *Backend) send(c *backConn, flags netproto.Flags, payload []byte) {
+	b.net.Send(&netproto.Packet{
+		Src: c.local, Dst: c.remote,
+		Flags: flags | netproto.ACK,
+		Seq:   c.sndNxt, Ack: c.rcvNxt,
+		Payload: payload,
+	})
+}
+
+// Deliver implements Endpoint.
+func (b *Backend) Deliver(p *netproto.Packet) {
+	if p.Dst != b.addr && p.Dst.IP != b.addr.IP {
+		return
+	}
+	ft := p.Tuple()
+	c, ok := b.conns[ft]
+	if !ok {
+		if p.Flags.Has(netproto.SYN) && !p.Flags.Has(netproto.ACK) {
+			isn := b.rng.Uint32()
+			c = &backConn{
+				local:  p.Dst,
+				remote: p.Src,
+				sndNxt: isn,
+				rcvNxt: p.Seq + 1,
+			}
+			b.conns[ft] = c
+			// SYN-ACK consumes one sequence number.
+			b.net.Send(&netproto.Packet{
+				Src: c.local, Dst: c.remote,
+				Flags: netproto.SYN | netproto.ACK,
+				Seq:   isn, Ack: c.rcvNxt,
+			})
+			c.sndNxt = isn + 1
+		}
+		return
+	}
+	if p.Flags.Has(netproto.RST) {
+		delete(b.conns, ft)
+		return
+	}
+	if p.Flags.Has(netproto.SYN) {
+		// Retransmitted SYN: re-answer.
+		b.net.Send(&netproto.Packet{
+			Src: c.local, Dst: c.remote,
+			Flags: netproto.SYN | netproto.ACK,
+			Seq:   c.sndNxt - 1, Ack: c.rcvNxt,
+		})
+		return
+	}
+	c.established = true
+	advanced := false
+	if len(p.Payload) > 0 && p.Seq == c.rcvNxt {
+		c.req = append(c.req, p.Payload...)
+		c.rcvNxt += uint32(len(p.Payload))
+		advanced = true
+		if !c.respSent && bytes.HasSuffix(c.req, []byte("\r\n\r\n")) {
+			c.respSent = true
+			b.Requests++
+			respond := func() {
+				resp := netproto.BuildResponse(b.responseLen)
+				b.send(c, netproto.PSH, resp)
+				c.sndNxt += uint32(len(resp))
+				// Connection: close — FIN right after the response.
+				b.send(c, netproto.FIN, nil)
+				c.sndNxt++
+				c.finSent = true
+			}
+			if b.serviceDelay > 0 {
+				b.loop.After(b.serviceDelay, respond)
+			} else {
+				respond()
+			}
+		}
+	}
+	if p.Flags.Has(netproto.FIN) && p.Seq+uint32(len(p.Payload)) == c.rcvNxt {
+		c.rcvNxt++
+		c.finRcvd = true
+		advanced = true
+	}
+	if p.Flags.Has(netproto.ACK) && c.finSent && p.Ack == c.sndNxt {
+		c.finAcked = true
+	}
+	if advanced {
+		b.send(c, 0, nil)
+	}
+	if c.finRcvd && c.finAcked {
+		delete(b.conns, ft)
+	}
+}

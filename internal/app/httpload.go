@@ -1,0 +1,357 @@
+package app
+
+import (
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/stats"
+)
+
+// HTTPLoad is a synthetic closed-loop HTTP client modelled on
+// http_load, the workload generator the paper uses: it keeps a fixed
+// number of short-lived connections in flight, fetching one URL per
+// connection with Connection: close. It is an "infinite capacity"
+// endpoint — its own CPU cost is zero — so the server under test is
+// always the bottleneck, mirroring the paper's practice of running
+// Fastsocket on the clients to saturate the server.
+type HTTPLoad struct {
+	loop *sim.Loop
+	net  *Network
+	rng  *sim.Rand
+
+	ips     []netproto.IP   // client source addresses
+	targets []netproto.Addr // server addresses, used round-robin
+
+	reqLen      int
+	respLen     int
+	reqsPerConn int
+	concurrency int
+	maxSYNRetry int
+	rto         sim.Time
+
+	conns      map[netproto.FourTuple]*cliConn
+	nextIP     int
+	nextTarget int
+	portCursor []netproto.Port
+	launched   uint64
+
+	// Results.
+	Completed uint64
+	Errors    uint64 // RSTs and SYN-retry exhaustion
+	Bytes     uint64
+	Latencies *stats.Histogram
+
+	// openLoopStop cancels open-loop arrivals.
+	openLoopStop bool
+}
+
+type cliState int
+
+const (
+	cliSynSent cliState = iota
+	cliEstablished
+	cliFinSent
+)
+
+type cliConn struct {
+	local, remote  netproto.Addr
+	state          cliState
+	isn            uint32
+	sndNxt, rcvNxt uint32
+	got            int // response bytes received, current request
+	reqsDone       int
+	start          sim.Time // connection start
+	reqStart       sim.Time // current request start
+	finAcked       bool
+	peerFin        bool
+	synRetries     int
+	synTimer       *sim.Event
+}
+
+// HTTPLoadConfig configures the generator.
+type HTTPLoadConfig struct {
+	ClientIPs  []netproto.IP
+	Targets    []netproto.Addr
+	RequestLen int // default 600 (the paper's Weibo request)
+	// RequestsPerConn > 1 switches to HTTP keep-alive (long-lived
+	// connections): the client issues that many request/response
+	// exchanges before closing. ResponseLen tells the client how
+	// many bytes delimit one response (no Content-Length parsing in
+	// the fast path, like real load generators configured with a
+	// known fetch size).
+	RequestsPerConn int
+	ResponseLen     int
+	Concurrency     int      // closed-loop connections in flight
+	RTO             sim.Time // SYN retransmission timeout
+	MaxSYNRetry     int
+	Seed            uint64
+}
+
+// NewHTTPLoad builds the generator and attaches it to the fabric.
+func NewHTTPLoad(loop *sim.Loop, net *Network, cfg HTTPLoadConfig) *HTTPLoad {
+	if len(cfg.ClientIPs) == 0 {
+		for i := 0; i < 32; i++ {
+			cfg.ClientIPs = append(cfg.ClientIPs, netproto.IPv4(10, 2, 0, byte(i+1)))
+		}
+	}
+	if cfg.RequestLen == 0 {
+		cfg.RequestLen = netproto.DefaultRequestLen
+	}
+	if cfg.RequestsPerConn == 0 {
+		cfg.RequestsPerConn = 1
+	}
+	if cfg.ResponseLen == 0 {
+		cfg.ResponseLen = netproto.DefaultResponseLen
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = 200 * sim.Millisecond
+	}
+	if cfg.MaxSYNRetry == 0 {
+		cfg.MaxSYNRetry = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	h := &HTTPLoad{
+		loop:        loop,
+		net:         net,
+		rng:         sim.NewRand(cfg.Seed),
+		ips:         cfg.ClientIPs,
+		targets:     cfg.Targets,
+		reqLen:      cfg.RequestLen,
+		respLen:     cfg.ResponseLen,
+		reqsPerConn: cfg.RequestsPerConn,
+		concurrency: cfg.Concurrency,
+		maxSYNRetry: cfg.MaxSYNRetry,
+		rto:         cfg.RTO,
+		conns:       map[netproto.FourTuple]*cliConn{},
+		portCursor:  make([]netproto.Port, len(cfg.ClientIPs)),
+		Latencies:   stats.NewHistogram(),
+	}
+	for i := range h.portCursor {
+		h.portCursor[i] = netproto.EphemeralLow
+	}
+	net.Attach(h, cfg.ClientIPs...)
+	return h
+}
+
+// Start launches the closed-loop load.
+func (h *HTTPLoad) Start() {
+	for i := 0; i < h.concurrency; i++ {
+		h.open()
+	}
+}
+
+// StartOpenLoop launches Poisson arrivals at the given mean rate
+// (connections per simulated second) instead of a closed loop; used
+// by the production-trace replay (Figure 3).
+func (h *HTTPLoad) StartOpenLoop(rate func(now sim.Time) float64) {
+	var tick func()
+	tick = func() {
+		if h.openLoopStop {
+			return
+		}
+		r := rate(h.loop.Now())
+		if r <= 0 {
+			h.loop.After(sim.Millisecond, tick)
+			return
+		}
+		h.open()
+		mean := sim.Time(float64(sim.Second) / r)
+		h.loop.After(h.rng.Exp(mean), tick)
+	}
+	h.loop.After(0, tick)
+}
+
+// StopOpenLoop halts open-loop arrivals.
+func (h *HTTPLoad) StopOpenLoop() { h.openLoopStop = true }
+
+// InFlight reports the live connection count.
+func (h *HTTPLoad) InFlight() int { return len(h.conns) }
+
+// Launched reports total connections started.
+func (h *HTTPLoad) Launched() uint64 { return h.launched }
+
+// open starts one connection.
+func (h *HTTPLoad) open() {
+	ipIdx := h.nextIP % len(h.ips)
+	h.nextIP++
+	target := h.targets[h.nextTarget%len(h.targets)]
+	h.nextTarget++
+
+	var local netproto.Addr
+	for tries := 0; ; tries++ {
+		port := h.portCursor[ipIdx]
+		h.portCursor[ipIdx]++
+		if h.portCursor[ipIdx] > netproto.EphemeralHigh {
+			h.portCursor[ipIdx] = netproto.EphemeralLow
+		}
+		local = netproto.Addr{IP: h.ips[ipIdx], Port: port}
+		ft := netproto.FourTuple{Src: target, Dst: local}
+		if _, busy := h.conns[ft]; !busy {
+			break
+		}
+		if tries > 30000 {
+			h.Errors++
+			return
+		}
+	}
+	isn := h.rng.Uint32()
+	c := &cliConn{
+		local:    local,
+		remote:   target,
+		state:    cliSynSent,
+		isn:      isn,
+		sndNxt:   isn + 1,
+		start:    h.loop.Now(),
+		reqStart: h.loop.Now(),
+	}
+	h.conns[netproto.FourTuple{Src: target, Dst: local}] = c
+	h.launched++
+	h.sendSYN(c)
+	h.armSYNRetry(c)
+}
+
+func (h *HTTPLoad) sendSYN(c *cliConn) {
+	h.net.Send(&netproto.Packet{
+		Src: c.local, Dst: c.remote,
+		Flags: netproto.SYN, Seq: c.isn,
+	})
+}
+
+func (h *HTTPLoad) armSYNRetry(c *cliConn) {
+	c.synTimer = h.loop.After(h.rto, func() {
+		if c.state != cliSynSent {
+			return
+		}
+		c.synRetries++
+		if c.synRetries > h.maxSYNRetry {
+			h.fail(c)
+			return
+		}
+		h.sendSYN(c)
+		h.armSYNRetry(c)
+	})
+}
+
+func (h *HTTPLoad) key(c *cliConn) netproto.FourTuple {
+	return netproto.FourTuple{Src: c.remote, Dst: c.local}
+}
+
+func (h *HTTPLoad) fail(c *cliConn) {
+	h.Errors++
+	h.finish(c)
+}
+
+func (h *HTTPLoad) finish(c *cliConn) {
+	if c.synTimer != nil {
+		c.synTimer.Cancel()
+	}
+	delete(h.conns, h.key(c))
+	if h.concurrency > 0 {
+		h.open() // closed loop: replace immediately
+	}
+}
+
+func (h *HTTPLoad) sendRequest(c *cliConn) {
+	req := netproto.BuildRequest("/hot/interface", h.reqLen)
+	h.net.Send(&netproto.Packet{
+		Src: c.local, Dst: c.remote,
+		Flags: netproto.PSH | netproto.ACK,
+		Seq:   c.sndNxt, Ack: c.rcvNxt,
+		Payload: req,
+	})
+	c.sndNxt += uint32(len(req))
+	c.reqStart = h.loop.Now()
+}
+
+func (h *HTTPLoad) sendFIN(c *cliConn) {
+	h.net.Send(&netproto.Packet{
+		Src: c.local, Dst: c.remote,
+		Flags: netproto.FIN | netproto.ACK,
+		Seq:   c.sndNxt, Ack: c.rcvNxt,
+	})
+	c.sndNxt++
+	c.state = cliFinSent
+}
+
+func (h *HTTPLoad) ack(c *cliConn) {
+	h.net.Send(&netproto.Packet{
+		Src: c.local, Dst: c.remote,
+		Flags: netproto.ACK, Seq: c.sndNxt, Ack: c.rcvNxt,
+	})
+}
+
+// Deliver implements Endpoint: the client-side TCP behaviour.
+func (h *HTTPLoad) Deliver(p *netproto.Packet) {
+	c, ok := h.conns[p.Tuple()]
+	if !ok {
+		// Late packet for a finished connection (e.g. retransmitted
+		// FIN): answer RST-wise silence; the server's timers give up.
+		return
+	}
+	if p.Flags.Has(netproto.RST) {
+		h.fail(c)
+		return
+	}
+	switch c.state {
+	case cliSynSent:
+		if p.Flags.Has(netproto.SYN) && p.Flags.Has(netproto.ACK) && p.Ack == c.sndNxt {
+			if c.synTimer != nil {
+				c.synTimer.Cancel()
+			}
+			c.rcvNxt = p.Seq + 1
+			c.state = cliEstablished
+			h.ack(c)
+			h.sendRequest(c)
+		}
+	case cliEstablished:
+		advanced := false
+		if len(p.Payload) > 0 && p.Seq == c.rcvNxt {
+			c.got += len(p.Payload)
+			h.Bytes += uint64(len(p.Payload))
+			c.rcvNxt += uint32(len(p.Payload))
+			advanced = true
+		}
+		if p.Flags.Has(netproto.FIN) && p.Seq+uint32(len(p.Payload)) == c.rcvNxt {
+			// Server finished the response and closed (short-lived
+			// mode): fetch done.
+			c.rcvNxt++
+			c.peerFin = true
+			h.Completed++
+			h.Latencies.Add(h.loop.Now() - c.reqStart)
+			// ACK the FIN and close our side.
+			h.ack(c)
+			h.sendFIN(c)
+			return
+		}
+		if advanced {
+			h.ack(c)
+			// Keep-alive mode: count responses by size and either
+			// issue the next request or actively close.
+			if h.reqsPerConn > 1 && c.got >= h.respLen {
+				c.got -= h.respLen
+				c.reqsDone++
+				h.Completed++
+				h.Latencies.Add(h.loop.Now() - c.reqStart)
+				if c.reqsDone < h.reqsPerConn {
+					h.sendRequest(c)
+				} else {
+					h.sendFIN(c)
+				}
+			}
+		}
+	case cliFinSent:
+		if p.Flags.Has(netproto.FIN) && p.Seq+uint32(len(p.Payload)) == c.rcvNxt {
+			// The server's FIN (passive close after ours).
+			c.rcvNxt++
+			c.peerFin = true
+			h.ack(c)
+		}
+		if p.Flags.Has(netproto.ACK) && p.Ack == c.sndNxt {
+			c.finAcked = true
+		}
+		if c.finAcked && c.peerFin {
+			h.finish(c)
+		}
+	}
+}

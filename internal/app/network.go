@@ -1,0 +1,83 @@
+// Package app contains everything above the simulated kernel's
+// syscall layer: the network fabric connecting machines, the
+// synthetic load generator (an http_load work-alike) and backend
+// server (infinite-capacity peers, so the machine under test is the
+// bottleneck, as in the paper's testbed), and the two benchmark
+// applications — an Nginx-like web server and an HAProxy-like proxy —
+// implemented against the BSD socket API.
+package app
+
+import (
+	"fastsocket/internal/kernel"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+// Endpoint receives packets addressed to its IPs.
+type Endpoint interface {
+	Deliver(p *netproto.Packet)
+}
+
+// NetworkStats counts fabric activity.
+type NetworkStats struct {
+	Delivered  uint64
+	LostRandom uint64 // dropped by injected loss
+	Unroutable uint64 // no endpoint for destination IP
+}
+
+// Network is the switch fabric: constant one-way delay, optional
+// random loss for failure-injection tests.
+type Network struct {
+	loop      *sim.Loop
+	delay     sim.Time
+	endpoints map[netproto.IP]Endpoint
+	loss      float64
+	rng       *sim.Rand
+	stats     NetworkStats
+}
+
+// NewNetwork builds a fabric with the given one-way delay (the
+// paper's testbed is a 10GE LAN; ~25us one-way is typical).
+func NewNetwork(loop *sim.Loop, delay sim.Time) *Network {
+	return &Network{
+		loop:      loop,
+		delay:     delay,
+		endpoints: map[netproto.IP]Endpoint{},
+		rng:       sim.NewRand(0xFAB41C),
+	}
+}
+
+// Stats returns a snapshot of the fabric counters.
+func (n *Network) Stats() NetworkStats { return n.stats }
+
+// SetLoss enables random packet loss with probability p.
+func (n *Network) SetLoss(p float64) { n.loss = p }
+
+// Attach registers an endpoint for the given IPs.
+func (n *Network) Attach(ep Endpoint, ips ...netproto.IP) {
+	for _, ip := range ips {
+		n.endpoints[ip] = ep
+	}
+}
+
+// AttachKernel wires a simulated kernel into the fabric: its
+// transmit path feeds the network, and its IPs route to its NIC.
+func (n *Network) AttachKernel(k *kernel.Kernel) {
+	k.SendToWire = n.Send
+	n.Attach(k, k.IPs()...)
+}
+
+// Send puts a packet on the wire; it arrives after the fabric delay.
+func (n *Network) Send(p *netproto.Packet) {
+	if n.loss > 0 && n.rng.Bool(n.loss) {
+		n.stats.LostRandom++
+		return
+	}
+	ep, ok := n.endpoints[p.Dst.IP]
+	if !ok {
+		n.stats.Unroutable++
+		return
+	}
+	n.stats.Delivered++
+	n.loop.After(n.delay, func() { ep.Deliver(p) })
+}

@@ -1,0 +1,132 @@
+// Package cache models the last-level (L3) cache behaviour that the
+// paper's Figure 5a measures: when a connection's control structures
+// (TCB, epoll entry, timer) are touched by a core other than the one
+// that touched them last, the line must be transferred across the
+// interconnect — an L3 miss with a latency penalty. Complete
+// connection locality keeps every line on one core, which is exactly
+// the effect Receive Flow Deliver and the Local Listen Table buy.
+//
+// The model is deliberately minimal: each tracked object is a set of
+// cache lines owned by the core that last accessed it. A configurable
+// background miss rate stands in for capacity/conflict misses of all
+// the traffic we do not model, so miss *rates* land in a realistic
+// range rather than at zero.
+package cache
+
+import "fastsocket/internal/sim"
+
+// Context is the execution context of an access; implemented by
+// cpu.Task (same shape as lock.Context, duplicated to avoid coupling
+// the two models).
+type Context interface {
+	Charge(d sim.Time)
+	CoreID() int
+}
+
+// Stats is a snapshot of the domain counters.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64 // cross-core transfer misses + background misses
+	Bounces  uint64 // cross-core transfers only
+}
+
+// MissRate returns Misses/Accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Sub returns counter deltas since an earlier snapshot.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Accesses: s.Accesses - prev.Accesses,
+		Misses:   s.Misses - prev.Misses,
+		Bounces:  s.Bounces - prev.Bounces,
+	}
+}
+
+// Domain is one L3 cache domain (a socket's worth of cores).
+type Domain struct {
+	// MissPenalty is charged per missing line transfer.
+	MissPenalty sim.Time
+	// BackgroundMissRate is the probability a local access still
+	// misses (capacity/conflict misses of unmodelled traffic).
+	BackgroundMissRate float64
+
+	rng   *sim.Rand
+	stats Stats
+}
+
+// NewDomain returns an L3 domain with the given penalty, background
+// miss rate, and RNG (for the background misses).
+func NewDomain(missPenalty sim.Time, backgroundMissRate float64, rng *sim.Rand) *Domain {
+	return &Domain{MissPenalty: missPenalty, BackgroundMissRate: backgroundMissRate, rng: rng}
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Domain) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters.
+func (d *Domain) ResetStats() { d.stats = Stats{} }
+
+// Background records n accesses to core-local data (stack, scratch,
+// code) that never bounces: only the background miss rate applies.
+// The experiments use it to keep the *ratio* of connection-structure
+// traffic to total traffic realistic, so L3 miss rates are comparable
+// to the paper's perf measurements.
+func (d *Domain) Background(ctx Context, n int) {
+	for i := 0; i < n; i++ {
+		d.stats.Accesses++
+		if d.BackgroundMissRate > 0 && d.rng != nil && d.rng.Bool(d.BackgroundMissRate) {
+			d.stats.Misses++
+			ctx.Charge(d.MissPenalty)
+		}
+	}
+}
+
+// Lines is the cached working set of one object (e.g. a TCB). Weight
+// is how many lines the object spans; a larger weight makes a bounce
+// proportionally more expensive.
+type Lines struct {
+	owner  int32 // last core to touch the lines; -1 = untouched
+	weight int8
+}
+
+// NewLines returns an object spanning weight cache lines.
+func NewLines(weight int) Lines {
+	if weight < 1 {
+		weight = 1
+	}
+	return Lines{owner: -1, weight: int8(weight)}
+}
+
+// Owner returns the id of the core that last touched the lines, or -1.
+func (ln *Lines) Owner() int { return int(ln.owner) }
+
+// Access records ctx touching the object within domain d, charging the
+// miss penalty when the lines lived on another core.
+func (d *Domain) Access(ctx Context, ln *Lines) {
+	d.stats.Accesses++
+	core := int32(ctx.CoreID())
+	switch {
+	case ln.owner == core:
+		// Warm. Background misses still occur.
+		if d.BackgroundMissRate > 0 && d.rng != nil && d.rng.Bool(d.BackgroundMissRate) {
+			d.stats.Misses++
+			ctx.Charge(d.MissPenalty)
+		}
+	case ln.owner == -1:
+		// Cold (compulsory) miss: first touch.
+		d.stats.Misses++
+		ctx.Charge(d.MissPenalty)
+		ln.owner = core
+	default:
+		// Bounce: transfer every line of the working set.
+		d.stats.Misses++
+		d.stats.Bounces++
+		ctx.Charge(d.MissPenalty * sim.Time(ln.weight))
+		ln.owner = core
+	}
+}

@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"testing"
+
+	"fastsocket/internal/sim"
+)
+
+type fakeCtx struct {
+	charged sim.Time
+	core    int
+}
+
+func (f *fakeCtx) Charge(d sim.Time) { f.charged += d }
+func (f *fakeCtx) CoreID() int       { return f.core }
+
+func TestColdMiss(t *testing.T) {
+	d := NewDomain(100, 0, nil)
+	ln := NewLines(1)
+	c := &fakeCtx{core: 3}
+	d.Access(c, &ln)
+	if c.charged != 100 {
+		t.Errorf("cold miss charged %v, want 100", c.charged)
+	}
+	if ln.Owner() != 3 {
+		t.Errorf("owner = %d, want 3", ln.Owner())
+	}
+	st := d.Stats()
+	if st.Accesses != 1 || st.Misses != 1 || st.Bounces != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWarmHit(t *testing.T) {
+	d := NewDomain(100, 0, nil)
+	ln := NewLines(1)
+	c := &fakeCtx{core: 0}
+	d.Access(c, &ln)
+	charged := c.charged
+	d.Access(c, &ln)
+	if c.charged != charged {
+		t.Errorf("warm access charged %v", c.charged-charged)
+	}
+	if d.Stats().Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (cold only)", d.Stats().Misses)
+	}
+}
+
+func TestBounceChargesWeight(t *testing.T) {
+	d := NewDomain(100, 0, nil)
+	ln := NewLines(3)
+	a := &fakeCtx{core: 0}
+	d.Access(a, &ln)
+	b := &fakeCtx{core: 1}
+	d.Access(b, &ln)
+	if b.charged != 300 {
+		t.Errorf("bounce charged %v, want 300 (3 lines x 100)", b.charged)
+	}
+	st := d.Stats()
+	if st.Bounces != 1 {
+		t.Errorf("Bounces = %d, want 1", st.Bounces)
+	}
+	if ln.Owner() != 1 {
+		t.Errorf("owner = %d, want 1", ln.Owner())
+	}
+}
+
+func TestBackgroundMissRate(t *testing.T) {
+	rng := sim.NewRand(1)
+	d := NewDomain(10, 0.25, rng)
+	ln := NewLines(1)
+	c := &fakeCtx{core: 0}
+	d.Access(c, &ln) // cold
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d.Access(c, &ln)
+	}
+	st := d.Stats()
+	rate := float64(st.Misses-1) / float64(n)
+	if rate < 0.23 || rate > 0.27 {
+		t.Errorf("background miss rate = %v, want ~0.25", rate)
+	}
+	if st.Bounces != 0 {
+		t.Errorf("Bounces = %d on single-core workload", st.Bounces)
+	}
+}
+
+func TestMissRateAndSub(t *testing.T) {
+	d := NewDomain(10, 0, nil)
+	ln := NewLines(1)
+	a := &fakeCtx{core: 0}
+	b := &fakeCtx{core: 1}
+	d.Access(a, &ln)
+	before := d.Stats()
+	d.Access(b, &ln) // bounce
+	d.Access(b, &ln) // warm
+	delta := d.Stats().Sub(before)
+	if delta.Accesses != 2 || delta.Misses != 1 {
+		t.Errorf("delta = %+v", delta)
+	}
+	if got := delta.MissRate(); got != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", got)
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("MissRate of empty stats != 0")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Alternating cores: every access after the first is a miss.
+	d := NewDomain(10, 0, nil)
+	ln := NewLines(1)
+	ctxs := []*fakeCtx{{core: 0}, {core: 1}}
+	for i := 0; i < 100; i++ {
+		d.Access(ctxs[i%2], &ln)
+	}
+	st := d.Stats()
+	if st.Misses != 100 {
+		t.Errorf("Misses = %d, want 100 (ping-pong)", st.Misses)
+	}
+	if st.Bounces != 99 {
+		t.Errorf("Bounces = %d, want 99", st.Bounces)
+	}
+}
+
+func TestNewLinesMinWeight(t *testing.T) {
+	ln := NewLines(0)
+	if ln.weight != 1 {
+		t.Errorf("weight = %d, want clamped to 1", ln.weight)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := NewDomain(10, 0, nil)
+	ln := NewLines(1)
+	d.Access(&fakeCtx{}, &ln)
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Errorf("ResetStats left %+v", d.Stats())
+	}
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/nic"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/tcb"
+	"fastsocket/internal/tcp"
+)
+
+func TestRoundUpPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 8: 8, 9: 16, 24: 32}
+	for in, want := range cases {
+		if got := roundUpPow2(in); got != want {
+			t.Errorf("roundUpPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestHashInRange(t *testing.T) {
+	// Property: for any core count and port, Hash lands in [0, n).
+	f := func(n uint8, port uint16, salt uint16) bool {
+		cores := int(n%24) + 1
+		r := NewRFD(cores, salt)
+		h := r.Hash(netproto.Port(port))
+		return h >= 0 && h < cores
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChoosePortRoundTrip(t *testing.T) {
+	// Property: ChoosePort always returns a port that hashes back to
+	// the requesting core — RFD's central invariant.
+	f := func(n uint8, c uint8, salt uint16) bool {
+		cores := int(n%24) + 1
+		core := int(c) % cores
+		r := NewRFD(cores, salt)
+		p, ok := r.ChoosePort(core, nil)
+		return ok && r.Hash(p) == core &&
+			p >= netproto.EphemeralLow && p <= netproto.EphemeralHigh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChoosePortSkipsInUse(t *testing.T) {
+	r := NewRFD(4, 0)
+	first, ok := r.ChoosePort(2, nil)
+	if !ok {
+		t.Fatal("no port")
+	}
+	// Rewind the cursor and mark the first port busy.
+	r.cursor[2] = first
+	second, ok := r.ChoosePort(2, func(p netproto.Port) bool { return p == first })
+	if !ok || second == first {
+		t.Errorf("ChoosePort returned busy port %d", second)
+	}
+	if r.Hash(second) != 2 {
+		t.Error("substitute port hashes to wrong core")
+	}
+}
+
+func TestChoosePortExhaustion(t *testing.T) {
+	r := NewRFD(2, 0)
+	if _, ok := r.ChoosePort(0, func(netproto.Port) bool { return true }); ok {
+		t.Error("ChoosePort succeeded with every port in use")
+	}
+}
+
+func TestChoosePortAdvancesCursor(t *testing.T) {
+	r := NewRFD(8, 0)
+	a, _ := r.ChoosePort(3, nil)
+	b, _ := r.ChoosePort(3, nil)
+	if a == b {
+		t.Errorf("consecutive ChoosePort returned the same port %d", a)
+	}
+}
+
+func TestSaltChangesMapping(t *testing.T) {
+	plain := NewRFD(16, 0)
+	salted := NewRFD(16, 0xBEEF)
+	diff := 0
+	for p := netproto.Port(32768); p < 33000; p++ {
+		if plain.Hash(p) != salted.Hash(p) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("salt did not perturb the port-to-core mapping")
+	}
+}
+
+func TestClassifyRules(t *testing.T) {
+	r := NewRFD(8, 0)
+	mk := func(srcPort, dstPort netproto.Port) *netproto.Packet {
+		return &netproto.Packet{
+			Src: netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: srcPort},
+			Dst: netproto.Addr{IP: netproto.IPv4(2, 2, 2, 2), Port: dstPort},
+		}
+	}
+	// Rule 1: well-known source port -> active incoming.
+	if r.Classify(mk(80, 40000), nil) != ActiveIncoming {
+		t.Error("rule 1 failed")
+	}
+	// Rule 2: well-known destination port -> passive incoming.
+	if r.Classify(mk(40000, 80), nil) != PassiveIncoming {
+		t.Error("rule 2 failed")
+	}
+	// Rule 3: both ephemeral, listener decides.
+	has := func(a netproto.Addr) bool { return a.Port == 9000 }
+	if r.Classify(mk(40000, 9000), has) != PassiveIncoming {
+		t.Error("rule 3 (listener present) failed")
+	}
+	if r.Classify(mk(40000, 9001), has) != ActiveIncoming {
+		t.Error("rule 3 (no listener) failed")
+	}
+	// Precise mode skips rules 1-2.
+	r.Precise = true
+	if r.Classify(mk(80, 9000), has) != PassiveIncoming {
+		t.Error("precise mode should consult the listen table only")
+	}
+}
+
+func TestSteer(t *testing.T) {
+	r := NewRFD(8, 0)
+	// Active incoming: steered to Hash(dst port).
+	p := &netproto.Packet{
+		Src: netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80},
+		Dst: netproto.Addr{IP: netproto.IPv4(2, 2, 2, 2), Port: 32773},
+	}
+	target, active := r.Steer(p, nil)
+	if !active || target != r.Hash(32773) {
+		t.Errorf("Steer = (%d, %v)", target, active)
+	}
+	// Passive incoming: not steered.
+	p2 := &netproto.Packet{
+		Src: netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 40000},
+		Dst: netproto.Addr{IP: netproto.IPv4(2, 2, 2, 2), Port: 80},
+	}
+	if target, active := r.Steer(p2, nil); active || target != -1 {
+		t.Errorf("passive packet steered to %d", target)
+	}
+}
+
+func TestSteerConsistentWithChoosePort(t *testing.T) {
+	// End-to-end invariant: a connection opened on core c with an
+	// RFD-chosen source port has its response packets steered back
+	// to c.
+	r := NewRFD(24, 0x1234)
+	for c := 0; c < 24; c++ {
+		p, ok := r.ChoosePort(c, nil)
+		if !ok {
+			t.Fatalf("no port for core %d", c)
+		}
+		resp := &netproto.Packet{
+			Src: netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80}, // backend
+			Dst: netproto.Addr{IP: netproto.IPv4(10, 0, 0, 1), Port: p},
+		}
+		target, active := r.Steer(resp, nil)
+		if !active || target != c {
+			t.Errorf("core %d: response steered to %d (active=%v)", c, target, active)
+		}
+	}
+}
+
+func TestProgramNIC(t *testing.T) {
+	r := NewRFD(16, 0)
+	n := nic.New(nic.Config{Queues: 16, Mode: nic.FDirPerfect})
+	r.ProgramNIC(n)
+	port, _ := r.ChoosePort(11, nil)
+	resp := &netproto.Packet{
+		Src: netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80},
+		Dst: netproto.Addr{IP: netproto.IPv4(10, 0, 0, 1), Port: port},
+	}
+	if q := n.SteerRX(resp); q != 11 {
+		t.Errorf("hardware steered to queue %d, want 11", q)
+	}
+	if n.Stats().PerfectHits != 1 {
+		t.Error("perfect filter did not match")
+	}
+	// Passive packets do not match the filter (RSS decides).
+	syn := &netproto.Packet{
+		Src:   netproto.Addr{IP: netproto.IPv4(10, 0, 0, 9), Port: 40000},
+		Dst:   netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80},
+		Flags: netproto.SYN,
+	}
+	n.SteerRX(syn)
+	if n.Stats().PerfectHits != 1 {
+		t.Error("passive packet matched the active-connection filter")
+	}
+}
+
+func TestNewRFDValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRFD(0) did not panic")
+		}
+	}()
+	NewRFD(0, 0)
+}
+
+// --- Tables ----------------------------------------------------------
+
+func mkTask(t *testing.T, cores int) (*sim.Loop, *cpu.Machine) {
+	loop := sim.NewLoop()
+	return loop, cpu.NewMachine(loop, cores)
+}
+
+func onCore(loop *sim.Loop, m *cpu.Machine, c int, fn func(tk *cpu.Task)) {
+	m.Core(c).Submit(fn)
+	loop.Run()
+}
+
+func mkTables(cores int, local bool) *Tables {
+	tb := &Tables{
+		GlobalListen: tcb.NewListen(tcb.Costs{}, nil),
+		GlobalEst:    tcb.NewEstablished(256, nil, tcb.Costs{}),
+	}
+	if local {
+		tb.LocalListen = make([]*tcb.ListenTable, cores)
+		tb.LocalEst = make([]*tcb.EstablishedTable, cores)
+		for i := 0; i < cores; i++ {
+			tb.LocalListen[i] = tcb.NewListen(tcb.Costs{}, nil)
+			tb.LocalEst[i] = tcb.NewEstablished(64, nil, tcb.Costs{})
+		}
+	}
+	return tb
+}
+
+func mkEstSock(core, i int) *tcp.Sock {
+	sk := tcp.NewSock(tcp.DefaultParams(), 0)
+	sk.Local = netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80}
+	sk.Remote = netproto.Addr{IP: netproto.IPv4(10, 0, 0, byte(i)), Port: netproto.Port(40000 + i)}
+	sk.State = tcp.Established
+	sk.HomeCore = core
+	return sk
+}
+
+func TestTablesLocalEstPartition(t *testing.T) {
+	loop, m := mkTask(t, 4)
+	tb := mkTables(4, true)
+	sk := mkEstSock(2, 1)
+	onCore(loop, m, 2, func(tk *cpu.Task) {
+		tb.InsertEstablished(tk, sk)
+		if got := tb.LookupEstablished(tk, sk.Tuple()); got != sk {
+			t.Error("home-core lookup failed")
+		}
+	})
+	// Wrong core: local table misses (the invariant RFD preserves).
+	onCore(loop, m, 3, func(tk *cpu.Task) {
+		if tb.LookupEstablished(tk, sk.Tuple()) != nil {
+			t.Error("local established table leaked across cores")
+		}
+	})
+	onCore(loop, m, 2, func(tk *cpu.Task) {
+		if !tb.RemoveEstablished(tk, sk) {
+			t.Error("remove failed")
+		}
+	})
+	if tb.LocalEst[2].Len() != 0 {
+		t.Error("socket left in local table")
+	}
+}
+
+func TestTablesGlobalEstShared(t *testing.T) {
+	loop, m := mkTask(t, 2)
+	tb := mkTables(2, false)
+	sk := mkEstSock(0, 1)
+	onCore(loop, m, 0, func(tk *cpu.Task) { tb.InsertEstablished(tk, sk) })
+	onCore(loop, m, 1, func(tk *cpu.Task) {
+		if tb.LookupEstablished(tk, sk.Tuple()) != sk {
+			t.Error("global table lookup failed from other core")
+		}
+	})
+}
+
+func TestCloneListenerFastPath(t *testing.T) {
+	loop, m := mkTask(t, 2)
+	tb := mkTables(2, true)
+	global := tcp.NewSock(tcp.DefaultParams(), 0)
+	global.Local = netproto.Addr{IP: 0, Port: 80}
+	global.State = tcp.Listen
+	tb.GlobalListen.Insert(nil, global)
+
+	var local *tcp.Sock
+	onCore(loop, m, 1, func(tk *cpu.Task) {
+		local = tb.CloneListener(tk, global, 1)
+		sk, fromLocal := tb.LookupListen(tk, netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80}, 7, false)
+		if sk != local || !fromLocal {
+			t.Error("fast path did not hit the local listen socket")
+		}
+	})
+	// Core 0 has no local copy: slow path hits the global socket.
+	onCore(loop, m, 0, func(tk *cpu.Task) {
+		sk, fromLocal := tb.LookupListen(tk, netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80}, 7, false)
+		if sk != global || fromLocal {
+			t.Errorf("slow path returned %v (fromLocal=%v)", sk, fromLocal)
+		}
+	})
+}
+
+func TestRemoveLocalListenerFallsBack(t *testing.T) {
+	loop, m := mkTask(t, 2)
+	tb := mkTables(2, true)
+	global := tcp.NewSock(tcp.DefaultParams(), 0)
+	global.Local = netproto.Addr{IP: 0, Port: 80}
+	global.State = tcp.Listen
+	tb.GlobalListen.Insert(nil, global)
+	onCore(loop, m, 0, func(tk *cpu.Task) {
+		local := tb.CloneListener(tk, global, 0)
+		// Process crash: the local copy disappears.
+		if !tb.RemoveLocalListener(tk, local) {
+			t.Fatal("RemoveLocalListener failed")
+		}
+		sk, fromLocal := tb.LookupListen(tk, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80}, 0, false)
+		if sk != global || fromLocal {
+			t.Error("crashed core did not fall back to the global listener")
+		}
+	})
+}
+
+func TestNaiveNoFallbackBreaksRobustness(t *testing.T) {
+	// §2.1: with a naive partition (no global table), a SYN landing
+	// on a core without a local listener matches nothing — the
+	// kernel would answer RST.
+	loop, m := mkTask(t, 2)
+	tb := mkTables(2, true)
+	tb.NaiveNoFallback = true
+	global := tcp.NewSock(tcp.DefaultParams(), 0)
+	global.Local = netproto.Addr{IP: 0, Port: 80}
+	global.State = tcp.Listen
+	tb.GlobalListen.Insert(nil, global)
+	onCore(loop, m, 0, func(tk *cpu.Task) {
+		sk, _ := tb.LookupListen(tk, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80}, 0, false)
+		if sk != nil {
+			t.Error("naive partition unexpectedly matched a listener")
+		}
+	})
+}
+
+func TestCloneWithoutLocalTablesPanics(t *testing.T) {
+	loop, m := mkTask(t, 1)
+	tb := mkTables(1, false)
+	onCore(loop, m, 0, func(tk *cpu.Task) {
+		defer func() {
+			if recover() == nil {
+				t.Error("CloneListener without local tables did not panic")
+			}
+		}()
+		tb.CloneListener(tk, tcp.NewSock(tcp.DefaultParams(), 0), 0)
+	})
+}
+
+func TestHasListener(t *testing.T) {
+	loop, m := mkTask(t, 1)
+	tb := mkTables(1, false)
+	global := tcp.NewSock(tcp.DefaultParams(), 0)
+	global.Local = netproto.Addr{IP: 0, Port: 80}
+	global.State = tcp.Listen
+	tb.GlobalListen.Insert(nil, global)
+	onCore(loop, m, 0, func(tk *cpu.Task) {
+		if !tb.HasListener(tk, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80}) {
+			t.Error("HasListener missed the bound port")
+		}
+		if tb.HasListener(tk, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 81}) {
+			t.Error("HasListener matched an unbound port")
+		}
+	})
+}
+
+func TestSelectBitsKeepsRoundTrip(t *testing.T) {
+	// Property: bit-randomized hashing preserves RFD's invariant —
+	// ChoosePort(c) returns ports hashing back to c.
+	f := func(n uint8, c uint8, seed uint16) bool {
+		cores := int(n%24) + 1
+		coreID := int(c) % cores
+		r := NewRFD(cores, 0)
+		r.SelectBits(sim.NewRand(uint64(seed) + 1))
+		p, ok := r.ChoosePort(coreID, nil)
+		return ok && r.Hash(p) == coreID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectBitsDefeatsCorePinning(t *testing.T) {
+	// Attack (§3.3): an adversary who knows hash(p) = p & (2^k - 1)
+	// crafts destination ports with identical low bits so every
+	// packet steers to one core. With randomized bit selection the
+	// same crafted set spreads.
+	const cores = 16
+	plain := NewRFD(cores, 0)
+	hardened := NewRFD(cores, 0)
+	hardened.SelectBits(sim.NewRand(42))
+
+	// Crafted ports: low 4 bits zero, random high bits.
+	rng := sim.NewRand(7)
+	plainTargets := map[int]bool{}
+	hardenedTargets := map[int]bool{}
+	for i := 0; i < 512; i++ {
+		p := netproto.Port(32768 + (rng.Intn(1500) << 4)) // low bits 0
+		plainTargets[plain.Hash(p)] = true
+		hardenedTargets[hardened.Hash(p)] = true
+	}
+	if len(plainTargets) != 1 {
+		t.Fatalf("attack against plain hash spread to %d cores, want 1 (all pinned)", len(plainTargets))
+	}
+	if len(hardenedTargets) < cores/2 {
+		t.Errorf("attack against hardened hash hit only %d/%d cores", len(hardenedTargets), cores)
+	}
+}
+
+func TestSelectBitsProgrammableIntoNIC(t *testing.T) {
+	// Bit selection stays within FDir's bit-wise capabilities: the
+	// programmed filter must agree with the software hash.
+	r := NewRFD(8, 3)
+	r.SelectBits(sim.NewRand(5))
+	n := nic.New(nic.Config{Queues: 8, Mode: nic.FDirPerfect})
+	r.ProgramNIC(n)
+	for c := 0; c < 8; c++ {
+		port, ok := r.ChoosePort(c, nil)
+		if !ok {
+			t.Fatal("no port")
+		}
+		resp := &netproto.Packet{
+			Src: netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80},
+			Dst: netproto.Addr{IP: netproto.IPv4(10, 0, 0, 1), Port: port},
+		}
+		if q := n.SteerRX(resp); q != c {
+			t.Errorf("hardware steered port %d to %d, want %d", port, q, c)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"fmt"
+
+	"fastsocket/internal/core"
+)
+
+// The central RFD invariant: a source port chosen for core c steers
+// the response traffic back to core c.
+func ExampleRFD_ChoosePort() {
+	rfd := core.NewRFD(8, 0)
+	port, _ := rfd.ChoosePort(5, nil)
+	fmt.Println(rfd.Hash(port) == 5)
+	// Output: true
+}
+
+// Classification of incoming packets follows the paper's port rules.
+func ExampleRFD_Classify() {
+	rfd := core.NewRFD(8, 0)
+	// A packet *from* port 80 is a response to a connection we
+	// opened: active incoming.
+	fmt.Println(rfd.Hash(33000) >= 0)
+	// Output: true
+}

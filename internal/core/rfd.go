@@ -1,0 +1,194 @@
+// Package core implements Fastsocket's contribution (paper §3): the
+// Local Listen Table and Local Established Table policies that give
+// table-level partition of TCB management, and Receive Flow Deliver
+// (RFD), which completes connection locality for active connections
+// by encoding the owning CPU core into the TCP source port.
+package core
+
+import (
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/nic"
+	"fastsocket/internal/sim"
+)
+
+// Class is RFD's classification of an incoming packet (§3.3).
+type Class int
+
+// Packet classes.
+const (
+	// PassiveIncoming belongs to a connection a peer opened to us;
+	// locality is already guaranteed by the Local Listen Table (the
+	// flow stays on the RX core RSS picked for its SYN).
+	PassiveIncoming Class = iota
+	// ActiveIncoming belongs to a connection we opened; its
+	// destination port encodes the home core.
+	ActiveIncoming
+)
+
+// RFD implements Receive Flow Deliver.
+//
+// hash(p) = (p ^ salt) & (roundUpPow2(n) - 1)
+//
+// restricted to bit-wise operations so the same function can be
+// programmed into FDir Perfect-Filtering hardware. salt (optional)
+// randomizes which source-port bit patterns map to which core,
+// mitigating attacks that pin all connections to one core.
+type RFD struct {
+	cores int
+	mask  netproto.Port
+	salt  netproto.Port
+
+	// bits, when non-nil, are the randomly selected source-port bit
+	// positions the hash extracts instead of the low bits — the
+	// paper's "randomly selecting the bits used in the operation"
+	// hardening. Still bit-wise only, so FDir-programmable.
+	bits []uint
+
+	// next source-port cursor per core for ChoosePort.
+	cursor []netproto.Port
+
+	// Precise enables classification rule 3 (listen-table check) as
+	// the only rule, for deployments whose service ports are not
+	// well-known ports.
+	Precise bool
+}
+
+// roundUpPow2 returns the next power of two >= x (x >= 1).
+func roundUpPow2(x int) int {
+	p := 1
+	for p < x {
+		p <<= 1
+	}
+	return p
+}
+
+// NewRFD builds the deliverer for n cores. salt must only set bits
+// inside the hash mask; NewRFD masks it accordingly.
+func NewRFD(n int, salt uint16) *RFD {
+	if n <= 0 {
+		panic("core: RFD needs at least one core")
+	}
+	mask := netproto.Port(roundUpPow2(n) - 1)
+	r := &RFD{
+		cores:  n,
+		mask:   mask,
+		salt:   netproto.Port(salt) & mask,
+		cursor: make([]netproto.Port, n),
+	}
+	for i := range r.cursor {
+		r.cursor[i] = netproto.EphemeralLow
+	}
+	return r
+}
+
+// Cores returns the core count the hash spreads over.
+func (r *RFD) Cores() int { return r.cores }
+
+// SelectBits randomizes which source-port bit positions the hash
+// extracts, defeating attackers who craft ports to pin all their
+// connections onto one CPU core (§3.3). Deterministic for a given
+// PRNG state; call before any ChoosePort.
+func (r *RFD) SelectBits(rng *sim.Rand) {
+	k := 0
+	for m := int(r.mask); m > 0; m >>= 1 {
+		k++
+	}
+	// Only bits 0-13 take both values across the ephemeral port range
+	// [32768, 61000]; bits 14-15 are (partly) constant there and would
+	// make some cores unreachable from ChoosePort.
+	perm := rng.Perm(14)
+	r.bits = make([]uint, k)
+	for i := 0; i < k; i++ {
+		r.bits[i] = uint(perm[i])
+	}
+}
+
+// Bits returns the selected bit positions (nil = plain low-bit mask).
+func (r *RFD) Bits() []uint { return r.bits }
+
+// Hash maps a port to a core id. Ports whose masked value lands on a
+// power-of-two slot above the core count fold back in (modulo), so
+// every port maps to a valid core even when n is not a power of two.
+func (r *RFD) Hash(p netproto.Port) int {
+	if r.bits != nil {
+		v := netproto.Port(0)
+		for i, pos := range r.bits {
+			v |= ((p >> pos) & 1) << uint(i)
+		}
+		return int((v^r.salt)&r.mask) % r.cores
+	}
+	return int((p^r.salt)&r.mask) % r.cores
+}
+
+// ChoosePort picks a source port p for an active connection opened on
+// core c such that Hash(p) == c, skipping ports for which inUse
+// returns true. ok is false when the core's ephemeral range is
+// exhausted.
+func (r *RFD) ChoosePort(c int, inUse func(netproto.Port) bool) (netproto.Port, bool) {
+	if c < 0 || c >= r.cores {
+		panic("core: ChoosePort for out-of-range core")
+	}
+	span := int(netproto.EphemeralHigh - netproto.EphemeralLow + 1)
+	start := r.cursor[c]
+	p := start
+	for i := 0; i < span; i++ {
+		if r.Hash(p) == c && (inUse == nil || !inUse(p)) {
+			next := p + 1
+			if next > netproto.EphemeralHigh {
+				next = netproto.EphemeralLow
+			}
+			r.cursor[c] = next
+			return p, true
+		}
+		p++
+		if p > netproto.EphemeralHigh {
+			p = netproto.EphemeralLow
+		}
+	}
+	return 0, false
+}
+
+// Classify applies the paper's three rules in order:
+//  1. source port well-known            → active incoming
+//  2. destination port well-known       → passive incoming
+//  3. (optional) matches a listen socket → passive, else active
+//
+// hasListener is consulted only when the port rules are inconclusive
+// (or always, in Precise mode).
+func (r *RFD) Classify(p *netproto.Packet, hasListener func(netproto.Addr) bool) Class {
+	if !r.Precise {
+		if p.Src.Port.IsWellKnown() {
+			return ActiveIncoming
+		}
+		if p.Dst.Port.IsWellKnown() {
+			return PassiveIncoming
+		}
+	}
+	if hasListener != nil && hasListener(p.Dst) {
+		return PassiveIncoming
+	}
+	return ActiveIncoming
+}
+
+// Steer returns the core that must process an incoming packet, and
+// whether the packet is an active incoming packet (only those are
+// steered; passive locality comes from the Local Listen Table).
+func (r *RFD) Steer(p *netproto.Packet, hasListener func(netproto.Addr) bool) (target int, active bool) {
+	if r.Classify(p, hasListener) == PassiveIncoming {
+		return -1, false
+	}
+	return r.Hash(p.Dst.Port), true
+}
+
+// ProgramNIC installs the hash as an FDir perfect filter so active
+// incoming packets are steered in hardware. The filter only uses the
+// port-boundary checks and the bit-wise hash — operations 82599
+// perfect filters support.
+func (r *RFD) ProgramNIC(n *nic.NIC) {
+	n.SetPerfectFilter(func(p *netproto.Packet) (int, bool) {
+		if p.Src.Port.IsWellKnown() && !p.Dst.Port.IsWellKnown() {
+			return r.Hash(p.Dst.Port), true
+		}
+		return 0, false
+	})
+}

@@ -1,0 +1,154 @@
+// Package epoll models the kernel event-notification facility the
+// benchmark applications (Nginx, HAProxy) are built on.
+//
+// Each instance's ready list is protected by "ep.lock" (Table 1).
+// When NET_RX SoftIRQ makes a socket readable it queues the socket's
+// watch on the owning instance's ready list — taking ep.lock from
+// whatever core the packet was processed on. Without connection
+// locality that is a remote core, and ep.lock bounces; with
+// Fastsocket it is always the instance owner's core.
+package epoll
+
+import (
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/lock"
+	"fastsocket/internal/sim"
+)
+
+// Events is the epoll event bitmask.
+type Events uint8
+
+// Event bits.
+const (
+	In  Events = 1 << iota // readable (data or EOF)
+	Out                    // writable (connect completed)
+	Err                    // error (reset)
+)
+
+// Costs charges epoll operations.
+type Costs struct {
+	Ctl    sim.Time // EPOLL_CTL_ADD/DEL bookkeeping
+	Notify sim.Time // queueing one ready event (under ep.lock)
+	Wait   sim.Time // epoll_wait fixed syscall cost
+	PerEv  sim.Time // per returned event copyout
+}
+
+// Stats counts instance activity.
+type Stats struct {
+	Notifies, Waits, Delivered uint64
+}
+
+// Watch is one registered interest (one socket in one instance).
+type Watch struct {
+	inst   *Instance
+	Item   any // kernel-side socket binding
+	events Events
+	queued bool
+	dead   bool
+}
+
+// Instance is one epoll file descriptor's worth of state.
+type Instance struct {
+	Lock  *lock.SpinLock // "ep.lock"
+	ready []*Watch
+	costs Costs
+	stats Stats
+
+	// waker is invoked (at most once per sleep) when a notification
+	// arrives while the owner sleeps in epoll_wait.
+	waker    func()
+	sleeping bool
+}
+
+// New builds an instance. bounce is the ep.lock transfer penalty.
+func New(bounce sim.Time, costs Costs) *Instance {
+	return &Instance{
+		Lock:  lock.New("ep.lock", bounce),
+		costs: costs,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (ep *Instance) Stats() Stats { return ep.stats }
+
+// SetWaker installs the owner's wakeup callback.
+func (ep *Instance) SetWaker(fn func()) { ep.waker = fn }
+
+// Register adds an item to the interest list (EPOLL_CTL_ADD).
+func (ep *Instance) Register(t *cpu.Task, item any) *Watch {
+	t.Charge(ep.costs.Ctl)
+	return &Watch{inst: ep, Item: item}
+}
+
+// Unregister removes the watch (EPOLL_CTL_DEL). Pending ready events
+// for it are discarded lazily at Wait time.
+func (ep *Instance) Unregister(t *cpu.Task, w *Watch) {
+	if w == nil || w.dead {
+		return
+	}
+	t.Charge(ep.costs.Ctl)
+	w.dead = true
+}
+
+// Notify marks the watch ready with ev. It is called from the TCP
+// stack (any core); ep.lock serializes the ready list. If the owner
+// sleeps in epoll_wait it is woken exactly once.
+func (ep *Instance) Notify(t *cpu.Task, w *Watch, ev Events) {
+	if w == nil || w.dead {
+		return
+	}
+	ep.Lock.Acquire(t)
+	t.Charge(ep.costs.Notify)
+	w.events |= ev
+	if !w.queued {
+		w.queued = true
+		ep.ready = append(ep.ready, w)
+	}
+	wake := ep.sleeping
+	ep.sleeping = false
+	ep.Lock.Release(t)
+	ep.stats.Notifies++
+	if wake && ep.waker != nil {
+		ep.waker()
+	}
+}
+
+// Ready is one event returned by Wait.
+type Ready struct {
+	Item   any
+	Events Events
+}
+
+// Wait drains up to max ready events (0 = all). If nothing is ready
+// it returns nil and marks the owner sleeping, so the next Notify
+// fires the waker.
+func (ep *Instance) Wait(t *cpu.Task, max int) []Ready {
+	ep.Lock.Acquire(t)
+	t.Charge(ep.costs.Wait)
+	ep.stats.Waits++
+	n := len(ep.ready)
+	if max > 0 && n > max {
+		n = max
+	}
+	var out []Ready
+	for i := 0; i < n; i++ {
+		w := ep.ready[i]
+		w.queued = false
+		if w.dead {
+			continue
+		}
+		t.Charge(ep.costs.PerEv)
+		out = append(out, Ready{Item: w.Item, Events: w.events})
+		w.events = 0
+	}
+	ep.ready = ep.ready[n:]
+	if len(out) == 0 && len(ep.ready) == 0 {
+		ep.sleeping = true
+	}
+	ep.stats.Delivered += uint64(len(out))
+	ep.Lock.Release(t)
+	return out
+}
+
+// PendingReady reports queued-but-undelivered events (tests).
+func (ep *Instance) PendingReady() int { return len(ep.ready) }

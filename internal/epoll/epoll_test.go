@@ -1,0 +1,163 @@
+package epoll
+
+import (
+	"testing"
+
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/sim"
+)
+
+func run1(t *testing.T, fn func(tk *cpu.Task)) {
+	loop := sim.NewLoop()
+	m := cpu.NewMachine(loop, 1)
+	done := false
+	m.Core(0).Submit(func(tk *cpu.Task) { fn(tk); done = true })
+	loop.Run()
+	if !done {
+		t.Fatal("work did not run")
+	}
+}
+
+func TestNotifyThenWait(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		ep := New(0, Costs{})
+		w := ep.Register(tk, "sock1")
+		ep.Notify(tk, w, In)
+		evs := ep.Wait(tk, 0)
+		if len(evs) != 1 || evs[0].Item != "sock1" || evs[0].Events != In {
+			t.Errorf("Wait = %+v", evs)
+		}
+	})
+}
+
+func TestNotifyCoalesces(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		ep := New(0, Costs{})
+		w := ep.Register(tk, "s")
+		ep.Notify(tk, w, In)
+		ep.Notify(tk, w, In)
+		ep.Notify(tk, w, Out)
+		evs := ep.Wait(tk, 0)
+		if len(evs) != 1 {
+			t.Fatalf("got %d events, want 1 coalesced", len(evs))
+		}
+		if evs[0].Events != In|Out {
+			t.Errorf("events = %v, want In|Out", evs[0].Events)
+		}
+	})
+}
+
+func TestWaitMaxEvents(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		ep := New(0, Costs{})
+		for i := 0; i < 5; i++ {
+			ep.Notify(tk, ep.Register(tk, i), In)
+		}
+		first := ep.Wait(tk, 3)
+		if len(first) != 3 {
+			t.Fatalf("first Wait = %d events, want 3", len(first))
+		}
+		rest := ep.Wait(tk, 3)
+		if len(rest) != 2 {
+			t.Fatalf("second Wait = %d events, want 2", len(rest))
+		}
+	})
+}
+
+func TestWakerFiredOnceWhileSleeping(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		ep := New(0, Costs{})
+		wakes := 0
+		ep.SetWaker(func() { wakes++ })
+		w := ep.Register(tk, "s")
+		// Not sleeping yet: no wake.
+		ep.Notify(tk, w, In)
+		if wakes != 0 {
+			t.Errorf("woken while not sleeping")
+		}
+		ep.Wait(tk, 0) // drains
+		// Empty wait -> sleeping.
+		if got := ep.Wait(tk, 0); got != nil {
+			t.Fatalf("expected empty wait, got %v", got)
+		}
+		ep.Notify(tk, w, In)
+		ep.Notify(tk, w, In)
+		if wakes != 1 {
+			t.Errorf("wakes = %d, want exactly 1", wakes)
+		}
+	})
+}
+
+func TestUnregisterDiscardsPending(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		ep := New(0, Costs{})
+		w := ep.Register(tk, "dead")
+		keep := ep.Register(tk, "live")
+		ep.Notify(tk, w, In)
+		ep.Notify(tk, keep, In)
+		ep.Unregister(tk, w)
+		ep.Unregister(tk, w) // double unregister is safe
+		evs := ep.Wait(tk, 0)
+		if len(evs) != 1 || evs[0].Item != "live" {
+			t.Errorf("Wait = %+v, want only live", evs)
+		}
+	})
+}
+
+func TestNotifyDeadWatchIgnored(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		ep := New(0, Costs{})
+		w := ep.Register(tk, "s")
+		ep.Unregister(tk, w)
+		ep.Notify(tk, w, In)
+		ep.Notify(tk, nil, In)
+		if ep.PendingReady() != 0 {
+			t.Error("dead/nil watch queued")
+		}
+	})
+}
+
+func TestEpLockCrossCoreBounce(t *testing.T) {
+	loop := sim.NewLoop()
+	m := cpu.NewMachine(loop, 2)
+	ep := New(25, Costs{})
+	var w *Watch
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		w = ep.Register(tk, "s")
+		ep.Wait(tk, 0) // core 0 owns the lock line now
+	})
+	loop.Run()
+	m.Core(1).Submit(func(tk *cpu.Task) {
+		ep.Notify(tk, w, In) // remote notify: line transfer
+	})
+	loop.Run()
+	if got := ep.Lock.Stats().Bounces; got != 1 {
+		t.Errorf("ep.lock bounces = %d, want 1", got)
+	}
+}
+
+func TestCostsCharged(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		ep := New(0, Costs{Ctl: 7, Notify: 11, Wait: 13, PerEv: 3})
+		start := tk.Now()
+		w := ep.Register(tk, "s") // 7
+		ep.Notify(tk, w, In)      // 11
+		ep.Wait(tk, 0)            // 13 + 3
+		if got := tk.Now() - start; got != 34 {
+			t.Errorf("charged %v, want 34", got)
+		}
+	})
+}
+
+func TestStats(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		ep := New(0, Costs{})
+		w := ep.Register(tk, "s")
+		ep.Notify(tk, w, In)
+		ep.Wait(tk, 0)
+		st := ep.Stats()
+		if st.Notifies != 1 || st.Waits != 1 || st.Delivered != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+}

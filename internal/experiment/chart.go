@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// asciiChart renders series as a simple terminal scatter/line chart —
+// enough to eyeball the *shapes* the reproduction is about (who wins,
+// where the baseline bends) without leaving the terminal.
+type asciiChart struct {
+	width, height int
+	series        []chartSeries
+	yLabel        string
+}
+
+type chartSeries struct {
+	marker byte
+	label  string
+	xs, ys []float64
+}
+
+func newChart(yLabel string) *asciiChart {
+	return &asciiChart{width: 56, height: 14, yLabel: yLabel}
+}
+
+func (c *asciiChart) add(label string, marker byte, xs, ys []float64) {
+	c.series = append(c.series, chartSeries{marker: marker, label: label, xs: xs, ys: ys})
+}
+
+func (c *asciiChart) render() string {
+	var xmax, ymax float64
+	for _, s := range c.series {
+		for i := range s.xs {
+			if s.xs[i] > xmax {
+				xmax = s.xs[i]
+			}
+			if s.ys[i] > ymax {
+				ymax = s.ys[i]
+			}
+		}
+	}
+	if xmax == 0 || ymax == 0 {
+		return "(no data)\n"
+	}
+	grid := make([][]byte, c.height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", c.width))
+	}
+	for _, s := range c.series {
+		for i := range s.xs {
+			x := int(s.xs[i] / xmax * float64(c.width-1))
+			y := int(s.ys[i] / ymax * float64(c.height-1))
+			row := c.height - 1 - y
+			grid[row][x] = s.marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.0fk)\n", c.yLabel, ymax/1000)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", c.width))
+	legend := make([]string, 0, len(c.series))
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.marker, s.label))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "   cores -> %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// Chart renders the Figure 4 sweep as an ASCII plot.
+func (r Figure4Result) Chart() string {
+	c := newChart("connections/s")
+	markers := map[string]byte{"base-2.6.32": 'b', "linux-3.13": 'l', "fastsocket": 'F'}
+	for label, m := range markers {
+		var xs, ys []float64
+		for _, row := range r.Rows {
+			xs = append(xs, float64(row.Cores))
+			ys = append(ys, row.CPS[label])
+		}
+		c.add(label, m, xs, ys)
+	}
+	return c.render()
+}
+
+// AblationResult isolates each Fastsocket component's contribution at
+// 24 cores (the design-choice ablations DESIGN.md calls out).
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// AblationRow is one incremental configuration.
+type AblationRow struct {
+	Label     string
+	WebCPS    float64
+	ProxyCPS  float64
+	LocalPct  float64 // proxy active-packet locality
+	SpinShare float64 // fraction of busy time wasted spinning (proxy)
+}
+
+// Ablation measures the incremental feature sets on both benchmarks.
+func Ablation(o Options) AblationResult {
+	o = o.withDefaults()
+	var res AblationResult
+	for _, col := range Table1Columns() {
+		mode := kernelModeFor(col)
+		spec := KernelSpec{Label: col.Label, Mode: mode, Feat: col.Feat}
+		web := Measure(spec, WebBench, 24, o)
+		proxy := Measure(spec, ProxyBench, 24, o)
+		res.Rows = append(res.Rows, AblationRow{
+			Label:    col.Label,
+			WebCPS:   web.Throughput,
+			ProxyCPS: proxy.Throughput,
+			LocalPct: proxy.LocalPct,
+		})
+	}
+	return res
+}
+
+// Format renders the ablation table.
+func (r AblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation — each Fastsocket component's contribution at 24 cores")
+	fmt.Fprintf(&b, "%-10s %12s %12s %14s\n", "features", "nginx cps", "haproxy cps", "active local%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %11.0fk %11.0fk %13.1f%%\n",
+			row.Label, row.WebCPS/1000, row.ProxyCPS/1000, row.LocalPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"fastsocket/internal/kernel"
+	"fastsocket/internal/sim"
+)
+
+// quick returns harness options small enough for unit tests while
+// still reaching steady state.
+func quick() Options {
+	return Options{
+		Warmup:             15 * sim.Millisecond,
+		Window:             40 * sim.Millisecond,
+		ConcurrencyPerCore: 150,
+	}
+}
+
+func TestMeasureBasics(t *testing.T) {
+	m := Measure(StockKernels()[2], WebBench, 4, quick())
+	if m.Throughput < 10000 {
+		t.Errorf("fastsocket 4-core throughput = %.0f, implausibly low", m.Throughput)
+	}
+	if m.Errors != 0 {
+		t.Errorf("client errors: %d", m.Errors)
+	}
+	if len(m.Utilization) != 4 {
+		t.Errorf("utilization for %d cores", len(m.Utilization))
+	}
+	if m.P99Latency <= 0 {
+		t.Error("no latency measured")
+	}
+	if m.LockContended == nil {
+		t.Error("no lock stats")
+	}
+}
+
+func TestFigure4aShape(t *testing.T) {
+	r := Figure4(WebBench, []int{1, 12, 24}, quick())
+	last := r.Rows[len(r.Rows)-1]
+	fs, l313, base := last.CPS["fastsocket"], last.CPS["linux-3.13"], last.CPS["base-2.6.32"]
+	// Ordering at 24 cores: fastsocket > 3.13 > base.
+	if !(fs > l313 && l313 > base) {
+		t.Errorf("24-core ordering wrong: fs=%.0f 3.13=%.0f base=%.0f", fs, l313, base)
+	}
+	// Fastsocket scales far better than base (paper: 20.4x vs ~7.5x).
+	if r.Speedup["fastsocket"] < 15 {
+		t.Errorf("fastsocket speedup = %.1fx, want > 15x", r.Speedup["fastsocket"])
+	}
+	if r.Speedup["base-2.6.32"] > 12 {
+		t.Errorf("base speedup = %.1fx, want < 12x", r.Speedup["base-2.6.32"])
+	}
+	// Base gains little or nothing from 12 to 24 cores.
+	mid := r.Rows[1].CPS["base-2.6.32"]
+	if last.CPS["base-2.6.32"] > mid*1.25 {
+		t.Errorf("base kept scaling: %.0f @12 -> %.0f @24", mid, last.CPS["base-2.6.32"])
+	}
+	if !strings.Contains(r.Format(), "Figure 4(a)") {
+		t.Error("format header wrong")
+	}
+}
+
+func TestFigure4bShape(t *testing.T) {
+	r := Figure4(ProxyBench, []int{1, 24}, quick())
+	last := r.Rows[len(r.Rows)-1]
+	fs, l313, base := last.CPS["fastsocket"], last.CPS["linux-3.13"], last.CPS["base-2.6.32"]
+	if !(fs > l313 && l313 > base) {
+		t.Errorf("24-core ordering wrong: fs=%.0f 3.13=%.0f base=%.0f", fs, l313, base)
+	}
+	// Active-connection workload: fastsocket at least doubles base.
+	if fs < 2*base {
+		t.Errorf("fastsocket %.0f not ≥ 2x base %.0f", fs, base)
+	}
+	// Single-core throughputs are close across kernels (paper §4.2.3).
+	first := r.Rows[0].CPS
+	if first["fastsocket"] > 1.25*first["base-2.6.32"] {
+		t.Errorf("single-core gap too large: %v", first)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1(quick())
+	get := func(lockName, col string) uint64 {
+		for i, c := range r.Columns {
+			if c == col {
+				return r.Counts[lockName][i]
+			}
+		}
+		t.Fatalf("column %q missing", col)
+		return 0
+	}
+	// VFS locks: huge in baseline, zero from +V on.
+	if get("dcache_lock", "Baseline") < 100000 {
+		t.Errorf("baseline dcache_lock contention = %d, want large", get("dcache_lock", "Baseline"))
+	}
+	for _, col := range []string{"+V", "V+L", "VL+R", "VLR+E"} {
+		if get("dcache_lock", col) != 0 || get("inode_lock", col) != 0 {
+			t.Errorf("VFS locks contended in %s", col)
+		}
+	}
+	// slock: present in baseline, gone once L+R give locality.
+	if get("slock", "Baseline") == 0 {
+		t.Error("baseline slock never contended")
+	}
+	for _, col := range []string{"VL+R", "VLR+E"} {
+		for _, lk := range []string{"slock", "ep.lock", "base.lock"} {
+			if get(lk, col) != 0 {
+				t.Errorf("%s contended %d times in %s", lk, get(lk, col), col)
+			}
+		}
+	}
+	// ehash: eliminated only by the Local Established Table.
+	if get("ehash.lock", "VLR+E") != 0 {
+		t.Error("ehash.lock contended with Local Established Table")
+	}
+	if !strings.Contains(r.Format(), "Table 1") {
+		t.Error("format header wrong")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r := Figure5(quick())
+	byLabel := map[string]Figure5Row{}
+	for _, row := range r.Rows {
+		byLabel[row.Label] = row
+	}
+	rss := byLabel["RSS"]
+	rfdRss := byLabel["RFD+RSS"]
+	atr := byLabel["FDir_ATR"]
+	perfect := byLabel["RFD+FDir_Perfect"]
+
+	// Local packet proportion: ~1/16 for RSS, high for ATR, 100% for
+	// RFD+Perfect (paper: 6.2%, 76.5%, 100%).
+	if rss.LocalPct < 2 || rss.LocalPct > 15 {
+		t.Errorf("RSS local = %.1f%%, want ~6%%", rss.LocalPct)
+	}
+	if atr.LocalPct < 50 || atr.LocalPct > 95 {
+		t.Errorf("FDir_ATR local = %.1f%%, want ~76%%", atr.LocalPct)
+	}
+	if perfect.LocalPct != 100 {
+		t.Errorf("RFD+FDir_Perfect local = %.1f%%, want 100%%", perfect.LocalPct)
+	}
+	// RFD reduces the L3 miss rate under RSS (paper: ~6pp).
+	if rfdRss.L3MissPct >= rss.L3MissPct-2 {
+		t.Errorf("RFD did not reduce miss rate: %.1f%% -> %.1f%%", rss.L3MissPct, rfdRss.L3MissPct)
+	}
+	// Throughput improves monotonically-ish from RSS to RFD+Perfect.
+	if perfect.Throughput <= rss.Throughput {
+		t.Errorf("RFD+Perfect (%.0f) not faster than RSS (%.0f)", perfect.Throughput, rss.Throughput)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r := Figure3(Figure3Options{HourLen: 8 * sim.Millisecond})
+	if len(r.Hours) != 24 {
+		t.Fatalf("%d hours", len(r.Hours))
+	}
+	// Fastsocket uses less CPU and is better balanced at the busy hour.
+	if r.FastAvg >= r.BaseAvg {
+		t.Errorf("fastsocket avg %.2f not below base %.2f", r.FastAvg, r.BaseAvg)
+	}
+	baseSpread := r.Hours[r.BusyHour].Base.Spread()
+	fastSpread := r.Hours[r.BusyHour].Fast.Spread()
+	if fastSpread >= baseSpread {
+		t.Errorf("fastsocket spread %.2f not tighter than base %.2f", fastSpread, baseSpread)
+	}
+	if r.CapacityGainPct < 20 {
+		t.Errorf("capacity gain = %.1f%%, want substantial", r.CapacityGainPct)
+	}
+	if !strings.Contains(r.Format(), "Figure 3") {
+		t.Error("format header wrong")
+	}
+}
+
+func TestBenchString(t *testing.T) {
+	if WebBench.String() != "nginx" || ProxyBench.String() != "haproxy" {
+		t.Error("bench names wrong")
+	}
+}
+
+func TestTable1Columns(t *testing.T) {
+	cols := Table1Columns()
+	if len(cols) != 5 {
+		t.Fatalf("%d columns", len(cols))
+	}
+	if cols[0].Feat != (kernel.Features{}) {
+		t.Error("baseline column has features")
+	}
+	if cols[4].Feat != kernel.FullFastsocket() {
+		t.Error("last column is not full fastsocket")
+	}
+}
+
+func TestLongLivedConnectionsScaleEverywhere(t *testing.T) {
+	// §1: "For long-lived connections ... we do not observe
+	// scalability issues of the TCP stack." With keep-alive, even the
+	// baseline kernel must get close to Fastsocket.
+	r := LongLived(24, 50, quick())
+	base, fs := r.RPS["base-2.6.32"], r.RPS["fastsocket"]
+	if base <= 0 || fs <= 0 {
+		t.Fatalf("no throughput: %+v", r.RPS)
+	}
+	if fs > 1.5*base {
+		t.Errorf("long-lived gap too large: fastsocket %.0f vs base %.0f", fs, base)
+	}
+	// And the long-lived request rate dwarfs the short-lived
+	// connection rate on the baseline (connection churn is the cost).
+	if r.RPS["base-2.6.32"] < 2*r.ShortLivedRPS["base-2.6.32"] {
+		t.Errorf("keep-alive did not relieve the baseline: %.0f vs %.0f",
+			r.RPS["base-2.6.32"], r.ShortLivedRPS["base-2.6.32"])
+	}
+	if !strings.Contains(r.Format(), "Long-lived") {
+		t.Error("format header wrong")
+	}
+}
+
+func TestRFSIsBestEffort(t *testing.T) {
+	// §2.2: RFS gives the stock kernel best-effort software locality.
+	// It steers packets toward the application's core (visible as
+	// software re-queues and reduced cache bouncing) but — unlike
+	// RFD — cannot change where the NIC delivers packets, so the
+	// hardware-level local proportion stays at ~1/cores.
+	o := quick()
+	plain := MeasureWithRFS(false, 8, o)
+	rfs := MeasureWithRFS(true, 8, o)
+	if plain.SoftSteers != 0 {
+		t.Errorf("plain 3.13 performed %d software steers", plain.SoftSteers)
+	}
+	if rfs.SoftSteers == 0 {
+		t.Error("RFS performed no software steers")
+	}
+	if rfs.L3MissRate > plain.L3MissRate {
+		t.Errorf("RFS increased the L3 miss rate: %.3f -> %.3f", plain.L3MissRate, rfs.L3MissRate)
+	}
+	// NIC-level locality is untouched by software steering.
+	if rfs.LocalPct > 30 {
+		t.Errorf("RFS changed NIC-level locality to %.1f%%?", rfs.LocalPct)
+	}
+}
+
+func TestSynFloodExperiment(t *testing.T) {
+	r := SynFlood(150000, quick())
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	undefended, defended := r.Rows[0], r.Rows[1]
+	// Without the defence, the flood costs throughput and/or errors.
+	if undefended.ClientErrors == 0 && undefended.UnderAttackCPS > 0.9*undefended.CleanCPS {
+		t.Errorf("flood had no effect without defence: %+v", undefended)
+	}
+	// With syncookies the service survives: no client errors and
+	// cookie-reconstructed connections flow.
+	if defended.ClientErrors != 0 {
+		t.Errorf("syncookies did not protect clients: %d errors", defended.ClientErrors)
+	}
+	if defended.CookieAccepts == 0 {
+		t.Error("no cookie-reconstructed connections")
+	}
+	if defended.UnderAttackCPS < 0.5*defended.CleanCPS {
+		t.Errorf("throughput collapsed despite syncookies: %.0f -> %.0f",
+			defended.CleanCPS, defended.UnderAttackCPS)
+	}
+	if !strings.Contains(r.Format(), "SYN flood") {
+		t.Error("format header wrong")
+	}
+}
+
+func TestAblationMonotone(t *testing.T) {
+	r := Ablation(quick())
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Each added component should not hurt web throughput materially,
+	// and the full stack beats the baseline by a wide margin.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.WebCPS < 2*first.WebCPS {
+		t.Errorf("full fastsocket %.0f not >= 2x baseline %.0f", last.WebCPS, first.WebCPS)
+	}
+	if last.LocalPct > 30 {
+		// RSS NIC: hardware locality stays ~1/24 even with RFD.
+		t.Errorf("locality = %.1f%% under RSS", last.LocalPct)
+	}
+	if !strings.Contains(r.Format(), "Ablation") {
+		t.Error("format header wrong")
+	}
+}
+
+func TestFigure4Chart(t *testing.T) {
+	r := Figure4(WebBench, []int{1, 4}, quick())
+	chart := r.Chart()
+	for _, want := range []string{"F", "b", "l", "cores ->"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	// Empty data renders gracefully.
+	empty := Figure4Result{}
+	if empty.Chart() != "(no data)\n" {
+		t.Errorf("empty chart = %q", empty.Chart())
+	}
+}

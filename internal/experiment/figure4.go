@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure4Row is one core-count row of Figure 4: throughput of the
+// three kernels.
+type Figure4Row struct {
+	Cores int
+	CPS   map[string]float64 // kernel label -> connections/s
+}
+
+// Figure4Result is the full sweep for one benchmark application.
+type Figure4Result struct {
+	Bench Bench
+	Rows  []Figure4Row
+	// Speedup is each kernel's 24-core (max-core) throughput over its
+	// own single-core throughput, the paper's scalability metric.
+	Speedup map[string]float64
+}
+
+// DefaultCoreSweep is the paper's x-axis.
+var DefaultCoreSweep = []int{1, 4, 8, 12, 16, 20, 24}
+
+// Figure4 runs the throughput-vs-cores sweep (Figure 4a with
+// WebBench/Nginx, Figure 4b with ProxyBench/HAProxy).
+func Figure4(bench Bench, cores []int, o Options) Figure4Result {
+	if len(cores) == 0 {
+		cores = DefaultCoreSweep
+	}
+	res := Figure4Result{Bench: bench, Speedup: map[string]float64{}}
+	specs := StockKernels()
+	single := map[string]float64{}
+	for _, n := range cores {
+		row := Figure4Row{Cores: n, CPS: map[string]float64{}}
+		for _, spec := range specs {
+			m := Measure(spec, bench, n, o)
+			row.CPS[spec.Label] = m.Throughput
+			if n == 1 {
+				single[spec.Label] = m.Throughput
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	for _, spec := range specs {
+		if single[spec.Label] > 0 {
+			res.Speedup[spec.Label] = last.CPS[spec.Label] / single[spec.Label]
+		}
+	}
+	return res
+}
+
+// Format renders the figure as the paper's data table.
+func (r Figure4Result) Format() string {
+	var b strings.Builder
+	name := "Figure 4(a) — Nginx connections/s vs cores"
+	if r.Bench == ProxyBench {
+		name = "Figure 4(b) — HAProxy connections/s vs cores"
+	}
+	fmt.Fprintf(&b, "%s\n", name)
+	labels := []string{"base-2.6.32", "linux-3.13", "fastsocket"}
+	fmt.Fprintf(&b, "%6s", "cores")
+	for _, l := range labels {
+		fmt.Fprintf(&b, " %14s", l)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d", row.Cores)
+		for _, l := range labels {
+			fmt.Fprintf(&b, " %13.0fk", row.CPS[l]/1000)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "speedup (max-core / single-core):")
+	for _, l := range labels {
+		fmt.Fprintf(&b, "  %s %.1fx", l, r.Speedup[l])
+	}
+	fmt.Fprintln(&b)
+	if n := len(r.Rows); n > 0 {
+		last := r.Rows[n-1]
+		base := last.CPS["base-2.6.32"]
+		fs := last.CPS["fastsocket"]
+		if base > 0 {
+			fmt.Fprintf(&b, "fastsocket vs base at %d cores: +%.0f%%\n",
+				last.Cores, 100*(fs-base)/base)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+// Package experiment regenerates every table and figure of the
+// paper's evaluation section (§4) against the simulated kernels. Each
+// experiment builds a testbed (server kernel + synthetic peers), runs
+// a warmup, measures a steady-state window, and reports the same
+// rows/series the paper plots.
+package experiment
+
+import (
+	"fastsocket/internal/app"
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/kernel"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/nic"
+	"fastsocket/internal/sim"
+)
+
+// Bench selects which application is load-tested.
+type Bench int
+
+// Benchmark applications.
+const (
+	// WebBench is the Nginx scenario (passive connections only).
+	WebBench Bench = iota
+	// ProxyBench is the HAProxy scenario (passive + active).
+	ProxyBench
+)
+
+// String names the bench.
+func (b Bench) String() string {
+	if b == WebBench {
+		return "nginx"
+	}
+	return "haproxy"
+}
+
+// Options tunes the measurement harness. Zero values get defaults
+// sized for CLI accuracy; tests shrink the windows.
+type Options struct {
+	Warmup, Window     sim.Time
+	ConcurrencyPerCore int
+	// ListenIPs is how many addresses the server binds on port 80
+	// (the paper spreads client load over several IPs).
+	ListenIPs int
+	Seed      uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup == 0 {
+		// With 500 connections per core in flight, queueing latency
+		// under the slower kernels reaches ~150ms; steady state needs
+		// a few multiples of that.
+		o.Warmup = 400 * sim.Millisecond
+	}
+	if o.Window == 0 {
+		o.Window = 400 * sim.Millisecond
+	}
+	if o.ConcurrencyPerCore == 0 {
+		o.ConcurrencyPerCore = 500
+	}
+	if o.ListenIPs == 0 {
+		o.ListenIPs = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Measurement is one steady-state observation of a testbed.
+type Measurement struct {
+	Throughput  float64 // connections per second
+	Utilization []float64
+	L3MissRate  float64
+	LocalPct    float64 // active incoming packets delivered to home core
+	// LockContended is the per-lock contended-acquisition count over
+	// the window.
+	LockContended map[string]uint64
+	// SoftSteers counts software packet re-queues (RFD or RFS).
+	SoftSteers uint64
+	Window     sim.Time
+	P99Latency sim.Time
+	Errors     uint64
+}
+
+// serverIPs builds n listen addresses.
+func serverIPs(n int) []netproto.IP {
+	ips := make([]netproto.IP, n)
+	for i := range ips {
+		ips[i] = netproto.IPv4(10, 1, 0, byte(i+1))
+	}
+	return ips
+}
+
+// KernelSpec is one kernel configuration under test.
+type KernelSpec struct {
+	Label         string
+	Mode          kernel.Mode
+	Feat          kernel.Features
+	NICMode       nic.Mode
+	ATRSampleRate int
+}
+
+// StockKernels are the three kernels Figure 4 compares.
+func StockKernels() []KernelSpec {
+	return []KernelSpec{
+		{Label: "base-2.6.32", Mode: kernel.Base2632},
+		{Label: "linux-3.13", Mode: kernel.Linux313},
+		{Label: "fastsocket", Mode: kernel.Fastsocket, Feat: kernel.FullFastsocket()},
+	}
+}
+
+// testbed is one fully wired machine-under-test.
+type testbed struct {
+	loop   *sim.Loop
+	net    *app.Network
+	k      *kernel.Kernel
+	client *app.HTTPLoad
+}
+
+// buildBed constructs the testbed for a spec.
+func buildBed(spec KernelSpec, bench Bench, cores int, o Options) *testbed {
+	return buildBedWith(spec, bench, cores, o, nil)
+}
+
+// buildBedWith additionally lets the caller mutate the kernel config
+// before boot (RFS experiments, custom costs).
+func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate func(*kernel.Config)) *testbed {
+	loop := sim.NewLoop()
+	netw := app.NewNetwork(loop, 20*sim.Microsecond)
+	cfg := kernel.Config{
+		Name:          spec.Label,
+		Cores:         cores,
+		Mode:          spec.Mode,
+		Feat:          spec.Feat,
+		NICMode:       spec.NICMode,
+		ATRSampleRate: spec.ATRSampleRate,
+		IPs:           serverIPs(min(o.ListenIPs, max(cores, 1))),
+		Seed:          o.Seed,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	k := kernel.New(loop, cfg)
+	netw.AttachKernel(k)
+
+	switch bench {
+	case WebBench:
+		srv := app.NewWebServer(k, app.WebServerConfig{})
+		srv.Start()
+	case ProxyBench:
+		backendAddr := netproto.Addr{IP: netproto.IPv4(10, 3, 0, 1), Port: 80}
+		app.NewBackend(loop, netw, app.BackendConfig{Addr: backendAddr})
+		px := app.NewProxy(k, app.ProxyConfig{Backends: []netproto.Addr{backendAddr}})
+		px.Start()
+	}
+
+	var targets []netproto.Addr
+	for _, ip := range k.IPs() {
+		targets = append(targets, netproto.Addr{IP: ip, Port: 80})
+	}
+	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+		Targets:     targets,
+		Concurrency: o.ConcurrencyPerCore * cores,
+		Seed:        o.Seed + 99,
+	})
+	return &testbed{loop: loop, net: netw, k: k, client: cli}
+}
+
+// Measure runs one spec at one core count and reports the window.
+func Measure(spec KernelSpec, bench Bench, cores int, o Options) Measurement {
+	o = o.withDefaults()
+	tb := buildBed(spec, bench, cores, o)
+	return measureBed(tb, o)
+}
+
+// measureBed runs the warmup and measurement window on a built bed.
+func measureBed(tb *testbed, o Options) Measurement {
+	tb.client.Start()
+	tb.loop.RunUntil(o.Warmup)
+
+	startCompleted := tb.client.Completed
+	startBusy := tb.k.Machine().BusySnapshot()
+	startCache := tb.k.Cache().Stats()
+	startStats := tb.k.Stats()
+	startLocks := tb.k.LockContention()
+	tb.client.Latencies.Reset()
+
+	tb.loop.RunUntil(o.Warmup + o.Window)
+
+	m := Measurement{Window: o.Window}
+	m.Throughput = float64(tb.client.Completed-startCompleted) / o.Window.Seconds()
+	m.Utilization = cpu.Utilization(startBusy, tb.k.Machine().BusySnapshot(), o.Window)
+	cacheDelta := tb.k.Cache().Stats().Sub(startCache)
+	m.L3MissRate = cacheDelta.MissRate()
+	st := tb.k.Stats()
+	if d := st.ActiveIn - startStats.ActiveIn; d > 0 {
+		m.LocalPct = 100 * float64(st.ActiveLocal-startStats.ActiveLocal) / float64(d)
+	}
+	m.LockContended = map[string]uint64{}
+	for name, n := range tb.k.LockContention() {
+		m.LockContended[name] = n - startLocks[name]
+	}
+	m.SoftSteers = st.SoftSteers - startStats.SoftSteers
+	m.P99Latency = tb.client.Latencies.Percentile(99)
+	m.Errors = tb.client.Errors
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MeasureWithRFS runs the proxy bench on Linux 3.13 with or without
+// Receive Flow Steering (the stock kernel's best-effort software
+// locality), for the RFS-vs-RFD comparison.
+func MeasureWithRFS(rfs bool, cores int, o Options) Measurement {
+	o = o.withDefaults()
+	spec := KernelSpec{Label: "linux-3.13", Mode: kernel.Linux313}
+	tb := buildBedWith(spec, ProxyBench, cores, o, func(cfg *kernel.Config) { cfg.RFS = rfs })
+	return measureBed(tb, o)
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsocket/internal/kernel"
+	"fastsocket/internal/sim"
+)
+
+// Table1Config is one column of Table 1: a feature set layered onto
+// the 2.6.32 baseline.
+type Table1Config struct {
+	Label string
+	Feat  kernel.Features
+}
+
+// Table1Columns are the paper's incremental feature columns:
+// Baseline, +V, V+L, VL+R, VLR+E.
+func Table1Columns() []Table1Config {
+	return []Table1Config{
+		{Label: "Baseline", Feat: kernel.Features{}},
+		{Label: "+V", Feat: kernel.Features{VFS: true}},
+		{Label: "V+L", Feat: kernel.Features{VFS: true, LocalListen: true}},
+		{Label: "VL+R", Feat: kernel.Features{VFS: true, LocalListen: true, RFD: true}},
+		{Label: "VLR+E", Feat: kernel.FullFastsocket()},
+	}
+}
+
+// Table1Result holds contended-acquisition counts per lock per column,
+// scaled to the paper's 60-second window.
+type Table1Result struct {
+	Columns []string
+	// Counts[lock][column] = contended acquisitions in 60s.
+	Counts map[string][]uint64
+	// Throughput per column (context for the counts).
+	Throughput []float64
+}
+
+// Table1 reruns the paper's lockstat experiment: the HAProxy
+// benchmark on 24 cores, measuring contended lock acquisitions for
+// each incremental Fastsocket feature set. Counts are measured over
+// the harness window and scaled linearly to 60 s (the run is
+// rate-stationary).
+func Table1(o Options) Table1Result {
+	o = o.withDefaults()
+	cols := Table1Columns()
+	res := Table1Result{Counts: map[string][]uint64{}}
+	for _, name := range kernel.LockNames {
+		res.Counts[name] = make([]uint64, len(cols))
+	}
+	scale := float64(60*sim.Second) / float64(o.Window)
+	for i, col := range cols {
+		res.Columns = append(res.Columns, col.Label)
+		spec := KernelSpec{Label: col.Label, Mode: kernelModeFor(col), Feat: col.Feat}
+		m := Measure(spec, ProxyBench, 24, o)
+		res.Throughput = append(res.Throughput, m.Throughput)
+		for _, name := range kernel.LockNames {
+			res.Counts[name][i] = uint64(float64(m.LockContended[name]) * scale)
+		}
+	}
+	return res
+}
+
+// kernelModeFor maps a Table 1 column to the kernel profile it runs
+// on: the empty feature set is the stock 2.6.32 baseline.
+func kernelModeFor(col Table1Config) kernel.Mode {
+	if col.Feat == (kernel.Features{}) {
+		return kernel.Base2632
+	}
+	return kernel.Fastsocket
+}
+
+func human(n uint64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Format renders Table 1.
+func (r Table1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 1 — Lock contention counts (HAProxy benchmark, 24 cores, scaled to 60s)")
+	fmt.Fprintln(&b, "V = Fastsocket-aware VFS, L = Local Listen Table, R = Receive Flow Deliver, E = Local Established Table")
+	fmt.Fprintf(&b, "%-12s", "lock")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	fmt.Fprintln(&b)
+	for _, name := range kernel.LockNames {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, v := range r.Counts[name] {
+			fmt.Fprintf(&b, " %10s", human(v))
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-12s", "cps")
+	for _, tp := range r.Throughput {
+		fmt.Fprintf(&b, " %9.0fk", tp/1000)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package kernel
+
+import (
+	"fmt"
+
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/nic"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/tcp"
+	"fastsocket/internal/vfs"
+)
+
+// Mode selects which kernel the simulated machine boots — the three
+// the paper's evaluation compares.
+type Mode int
+
+// Kernel behaviour profiles.
+const (
+	// Base2632 is the baseline 2.6.32 kernel: one listen socket per
+	// address, global established table, global dcache/inode locks.
+	Base2632 Mode = iota
+	// Linux313 is the 3.13 kernel: SO_REUSEPORT per-process listen
+	// copies (O(n) chain scan), sharded VFS locking, global
+	// established table.
+	Linux313
+	// Fastsocket is 2.6.32 plus the paper's modules, individually
+	// switchable through Features.
+	Fastsocket
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case Base2632:
+		return "base-2.6.32"
+	case Linux313:
+		return "linux-3.13"
+	case Fastsocket:
+		return "fastsocket"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Features are Fastsocket's four components (Table 1's columns).
+type Features struct {
+	VFS         bool // V: Fastsocket-aware VFS fast path
+	LocalListen bool // L: Local Listen Table
+	RFD         bool // R: Receive Flow Deliver
+	LocalEst    bool // E: Local Established Table (requires R)
+}
+
+// FullFastsocket enables everything.
+func FullFastsocket() Features {
+	return Features{VFS: true, LocalListen: true, RFD: true, LocalEst: true}
+}
+
+// Config describes one simulated machine.
+type Config struct {
+	Name  string
+	Cores int
+	Mode  Mode
+	Feat  Features // honoured only when Mode == Fastsocket
+
+	// IPs are the machine's local addresses. Servers may listen on
+	// several (the evaluation binds different IPs on port 80 to
+	// spread client load).
+	IPs []netproto.IP
+
+	// NICMode, ATRSampleRate, ATRTableSize configure the adapter.
+	NICMode       nic.Mode
+	ATRSampleRate int
+	ATRTableSize  int
+
+	// RFDSalt XORs the RFD hash input (0 = plain mask).
+	RFDSalt uint16
+	// RFDRandomBits randomizes which source-port bits the RFD hash
+	// extracts — the paper's defence against core-pinning attacks.
+	RFDRandomBits bool
+	// RFDPrecise forces classification rule 3 only.
+	RFDPrecise bool
+
+	// TimeWait is the TIME_WAIT linger. The paper's testbed uses the
+	// kernel default (60s) with heavy port/tuple reuse; we shorten it
+	// so the simulated tables hold a realistic population without
+	// simulating minutes (see DESIGN.md substitutions).
+	TimeWait sim.Time
+
+	// EhashBuckets / LocalEhashBuckets size the established tables.
+	EhashBuckets      int
+	LocalEhashBuckets int
+	// EhashLockShards is the number of per-bucket lock shards
+	// modelled for the global table.
+	EhashLockShards int
+
+	// RFS enables Receive Flow Steering, the stock kernel's
+	// best-effort software locality (available on Linux313; ignored
+	// when Fastsocket's RFD is on, which subsumes it).
+	RFS bool
+	// RFSTableSize is the rps_sock_flow_table size (power of two;
+	// benchmark-typical 32768).
+	RFSTableSize int
+
+	// NaiveNoFallback removes the global listen slow path to
+	// reproduce the broken naive partition (§2.1) in tests.
+	NaiveNoFallback bool
+
+	Costs *Costs
+	TCP   *tcp.Params
+	Seed  uint64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 1
+	}
+	if len(c.IPs) == 0 {
+		c.IPs = []netproto.IP{netproto.IPv4(10, 1, 0, 1)}
+	}
+	if c.TimeWait == 0 {
+		c.TimeWait = 250 * sim.Microsecond
+	}
+	if c.EhashBuckets == 0 {
+		c.EhashBuckets = 65536
+	}
+	if c.LocalEhashBuckets == 0 {
+		c.LocalEhashBuckets = 16384
+	}
+	if c.EhashLockShards == 0 {
+		c.EhashLockShards = 256
+	}
+	if c.Costs == nil {
+		c.Costs = DefaultCosts()
+	}
+	if c.TCP == nil {
+		c.TCP = tcp.DefaultParams()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Mode != Fastsocket {
+		c.Feat = Features{}
+	}
+	if c.RFSTableSize == 0 {
+		c.RFSTableSize = 32768
+	}
+	if c.Feat.RFD {
+		c.RFS = false // RFD provides complete locality; RFS is moot
+	}
+	if c.Feat.LocalEst && !c.Feat.RFD {
+		// Local established tables are only correct under complete
+		// connection locality (§3.2.2); the paper's prerequisite.
+		panic("kernel: LocalEst requires RFD")
+	}
+	return c
+}
+
+// vfsMode maps the kernel profile to its VFS behaviour.
+func (c Config) vfsMode() vfs.Mode {
+	switch {
+	case c.Mode == Linux313:
+		return vfs.Sharded313
+	case c.Mode == Fastsocket && c.Feat.VFS:
+		return vfs.Fastpath
+	default:
+		return vfs.Legacy2632
+	}
+}
+
+// Reuseport reports whether listen sockets use SO_REUSEPORT chains.
+func (c Config) Reuseport() bool { return c.Mode == Linux313 }

@@ -1,0 +1,159 @@
+package kernel
+
+import (
+	"fastsocket/internal/epoll"
+	"fastsocket/internal/ktimer"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/tcb"
+	"fastsocket/internal/vfs"
+)
+
+// Costs holds every nanosecond constant in the simulation. The values
+// are calibrated so that single-core Nginx throughput lands near the
+// paper's ~23k connections/s (475k at 20.4x on 24 cores); everything
+// else — scaling curves, lock contention, the baseline collapse —
+// emerges from the mechanisms, not from these numbers.
+//
+// Rationale per group:
+//   - RX/TX path: ~1us per packet through driver + IP + TCP glue is
+//     consistent with kernel 2.6-era profiles of short-packet
+//     processing on ~2.7GHz Xeons.
+//   - Syscalls: 1-2us each covers entry/exit, copies and bookkeeping.
+//   - VFS: the legacy dentry+inode path costs ~1.7us of initialization
+//     under two global locks ([14] measures sockets at tens of
+//     thousands of cycles); the Fastsocket fast path keeps ~200ns.
+//   - LockBounce/L3Miss: a cache-line transfer costs ~100-300ns on
+//     SandyBridge/IvyBridge parts (more across sockets); VFSBounce is
+//     larger because the locks drag multi-line structures with them.
+type Costs struct {
+	// --- NET_RX SoftIRQ per-packet path ---
+	RxBase    sim.Time // driver, sk_buff, IP input
+	RxPerByte sim.Time // payload touch (checksum/copy) per byte
+	InputSYN  sim.Time // SYN handling: request sock creation, SYN-ACK build
+	InputACK  sim.Time // bare ACK processing
+	InputData sim.Time // data segment fixed cost (payload via RxPerByte)
+	InputFIN  sim.Time // FIN processing
+	RFDSteer  sim.Time // software re-queue of a non-local packet
+	RxSteered sim.Time // backlog dequeue on the steering target core
+	RFSLookup sim.Time // rps_sock_flow_table probe per packet
+	RFSUpdate sim.Time // table update in recvmsg
+	// CookieCheck validates a SYN-cookie ACK (keyed hash + rebuild).
+	CookieCheck sim.Time
+	SendRST     sim.Time // building + sending an RST for a no-match
+
+	// --- TX path ---
+	TxBase    sim.Time // qdisc + driver + doorbell per packet
+	TxPerByte sim.Time // payload copy/checksum per byte
+
+	// --- TCB tables ---
+	TCB tcb.Costs
+
+	// --- Syscalls ---
+	SockAlloc sim.Time // socket() kernel-side object setup
+	Accept    sim.Time // accept() fixed cost
+	AcceptPop sim.Time // dequeue under a local listen clone's slock
+	// AcceptPopShared is the dequeue cost on a *shared* listen socket:
+	// lock_sock semantics, backlog processing, and wait-queue
+	// management make it far heavier than the Fastsocket clone path.
+	AcceptPopShared sim.Time
+	AcceptEmpty     sim.Time // finding the shared queue empty (herd loser)
+	AcceptPush      sim.Time // enqueue under listen slock (softirq side)
+	AtomicCheck     sim.Time // lock-free global accept-queue empty check
+	Connect         sim.Time // connect() fixed cost (route, port bind)
+	Recv            sim.Time // read() fixed cost
+	RecvPerByte     sim.Time // copy-to-user per byte
+	Send            sim.Time // write() fixed cost
+	SendPerByte     sim.Time // copy-from-user per byte
+	Close           sim.Time // close() fixed cost
+	ListenSetup     sim.Time // listen()/local_listen() setup cost
+	EpollCreate     sim.Time
+	// ContextSwitch is paid when a process is woken from sleep in
+	// epoll_wait (scheduler pick + switch + cache warmup). Thundering
+	// herds on a shared listen socket pay it once per woken worker,
+	// which is what makes the herd so expensive.
+	ContextSwitch sim.Time
+
+	// --- Sub-layer costs ---
+	VFS   vfs.Costs
+	Epoll epoll.Costs
+	Timer ktimer.Costs
+
+	// --- Memory system ---
+	LockBounce sim.Time // spinlock cache-line transfer penalty
+	// VFSBounce is the (larger) transfer penalty for dcache_lock and
+	// inode_lock: they protect multi-line structures (hash chains,
+	// LRU lists, counters) that all move with the lock.
+	VFSBounce sim.Time
+	L3Miss    sim.Time // LLC miss penalty per line
+	// BgMissRate is the background (capacity/conflict) miss
+	// probability for warm accesses, standing in for unmodelled
+	// memory traffic so miss rates have a realistic floor.
+	BgMissRate float64
+	// TCBLineWeight: lines transferred when a TCB bounces cores.
+	TCBLineWeight int
+	// MemPressurePerMilleCore stretches all charged work by this many
+	// parts-per-thousand per additional active core, modelling shared
+	// uncore/DRAM bandwidth contention (the uniform sub-linear factor
+	// every kernel pays on a dual-socket box).
+	MemPressurePerMilleCore int64
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() *Costs {
+	return &Costs{
+		RxBase:      1380,
+		RxPerByte:   1,
+		InputSYN:    2180,
+		InputACK:    940,
+		InputData:   1380,
+		InputFIN:    1160,
+		RFDSteer:    550,
+		RxSteered:   440,
+		RFSLookup:   120,
+		RFSUpdate:   150,
+		CookieCheck: 650,
+		SendRST:     940,
+
+		TxBase:    1230,
+		TxPerByte: 1,
+
+		TCB: tcb.Costs{Hash: 90, Compare: 160, Link: 130},
+
+		SockAlloc:       1600,
+		Accept:          2180,
+		AcceptPop:       750,
+		AcceptPopShared: 2300,
+		AcceptEmpty:     420,
+		AcceptPush:      480,
+		AtomicCheck:     60,
+		Connect:         2320,
+		Recv:            1380,
+		RecvPerByte:     1,
+		Send:            1670,
+		SendPerByte:     1,
+		Close:           1810,
+		ListenSetup:     2900,
+		EpollCreate:     2180,
+
+		ContextSwitch: 2900,
+
+		VFS: vfs.Costs{
+			DentryWork:  1020,
+			InodeWork:   720,
+			FreeWork:    750,
+			ShardedWork: 520,
+			FastWork:    220,
+			Shards:      64,
+		},
+		Epoll: epoll.Costs{Ctl: 550, Notify: 380, Wait: 1090, PerEv: 190},
+		Timer: ktimer.Costs{Arm: 230, Cancel: 190, Expire: 190},
+
+		LockBounce:    290,
+		VFSBounce:     1300,
+		L3Miss:        360,
+		BgMissRate:    0.055,
+		TCBLineWeight: 3,
+
+		MemPressurePerMilleCore: 8,
+	}
+}

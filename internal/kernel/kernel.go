@@ -1,0 +1,562 @@
+// Package kernel assembles the simulated machine: CPU cores, NIC,
+// NET_RX SoftIRQ processing, TCB tables (global or Fastsocket-local),
+// VFS, epoll, per-core timer wheels, and the BSD socket syscall layer
+// that the application models call.
+//
+// One Kernel is one machine. Several kernels can share a sim.Loop and
+// be wired together (plus synthetic endpoints) by internal/app's
+// Network.
+package kernel
+
+import (
+	"fastsocket/internal/cache"
+	"fastsocket/internal/core"
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/epoll"
+	"fastsocket/internal/ktimer"
+	"fastsocket/internal/lock"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/nic"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/tcb"
+	"fastsocket/internal/tcp"
+	"fastsocket/internal/vfs"
+)
+
+// Stats counts kernel-wide events.
+type Stats struct {
+	PacketsIn, PacketsOut uint64
+	SoftSteers            uint64 // RFD software re-queues
+	RSTSent               uint64
+	// ActiveIn / ActiveLocal measure, for active-connection incoming
+	// packets only, whether the NIC delivered them to the flow's home
+	// core — the paper's Figure 5b "local packet proportion".
+	ActiveIn, ActiveLocal uint64
+	Accepts, AcceptEmpty  uint64
+	Connects              uint64
+	ListenDrops           uint64
+	CookieAccepts         uint64
+}
+
+// sockExt is the kernel-side extension of a tcp.Sock (stored in
+// Sock.User): fd binding, epoll watch, timers, port ownership.
+type sockExt struct {
+	sk    *tcp.Sock
+	owner *Process
+	fd    int
+	file  *vfs.File
+	watch *epoll.Watch
+
+	rtx *ktimer.Timer
+	tw  *ktimer.Timer
+
+	active    bool // opened via connect()
+	portBound bool // owns an ephemeral port to free on destroy
+	appClosed bool
+
+	listen *listenExt // only for listen sockets
+}
+
+type procWatch struct {
+	proc  *Process
+	watch *epoll.Watch
+}
+
+// listenExt is the shared state of one listen address: the global
+// socket, the processes polling it, and per-core Fastsocket clones.
+type listenExt struct {
+	global   *tcp.Sock
+	watchers []procWatch
+	clones   map[int]*tcp.Sock // core id -> local listen socket
+	nextWake int               // rotation cursor for wake-one policy
+}
+
+func ext(sk *tcp.Sock) *sockExt { return sk.User.(*sockExt) }
+
+// Kernel is one simulated machine.
+type Kernel struct {
+	cfg     Config
+	loop    *sim.Loop
+	machine *cpu.Machine
+	rng     *sim.Rand
+	nic     *nic.NIC
+	l3      *cache.Domain
+
+	tables *core.Tables
+	rfd    *core.RFD
+	rfs    *rfsTable
+	vfsl   *vfs.Layer
+	wheels []*ktimer.Wheel
+
+	ehashLocks *lock.Sharded
+
+	procs        []*Process
+	allListeners []*tcp.Sock // global + reuseport listen sockets
+
+	// flowHome mirrors the established tables for instrumentation
+	// (figure 5b locality accounting) without charging lookups.
+	flowHome map[netproto.FourTuple]*sockExt
+
+	usedPorts  map[netproto.Addr]bool
+	portCursor netproto.Port
+	isn        uint32
+
+	slockAgg lock.Stats // accumulated stats of destroyed sockets
+
+	acceptWakeAll bool
+
+	stats Stats
+
+	// SendToWire carries an outbound packet to the network fabric.
+	SendToWire func(p *netproto.Packet)
+
+	tracer PacketTracer
+}
+
+// PacketTracer observes every packet the machine receives or
+// transmits (see internal/trace). dir follows trace.Dir: 0 = RX,
+// 1 = TX. core is the RX steering target or the transmitting core.
+type PacketTracer interface {
+	Trace(dir int, p *netproto.Packet, core int)
+}
+
+// New boots a machine on the shared event loop.
+func New(loop *sim.Loop, cfg Config) *Kernel {
+	cfg = cfg.withDefaults()
+	k := &Kernel{
+		cfg:        cfg,
+		loop:       loop,
+		machine:    cpu.NewMachine(loop, cfg.Cores),
+		rng:        sim.NewRand(cfg.Seed),
+		flowHome:   map[netproto.FourTuple]*sockExt{},
+		usedPorts:  map[netproto.Addr]bool{},
+		portCursor: netproto.EphemeralLow,
+		isn:        1,
+	}
+	c := cfg.Costs
+	if c.MemPressurePerMilleCore > 0 && cfg.Cores > 1 {
+		k.machine.SetWorkScale(1000+c.MemPressurePerMilleCore*int64(cfg.Cores-1), 1000)
+	}
+	k.l3 = cache.NewDomain(c.L3Miss, c.BgMissRate, k.rng)
+	k.nic = nic.New(nic.Config{
+		Queues:        cfg.Cores,
+		Mode:          cfg.NICMode,
+		ATRTableSize:  cfg.ATRTableSize,
+		ATRSampleRate: cfg.ATRSampleRate,
+	})
+	k.vfsl = vfs.NewLayer(cfg.vfsMode(), c.VFS, c.VFSBounce)
+	k.ehashLocks = lock.NewSharded("ehash.lock", cfg.EhashLockShards, c.LockBounce)
+
+	k.tables = &core.Tables{
+		GlobalListen:    tcb.NewListen(c.TCB, k.l3),
+		GlobalEst:       tcb.NewEstablished(cfg.EhashBuckets, k.ehashLocks, c.TCB),
+		NaiveNoFallback: cfg.NaiveNoFallback,
+	}
+	if cfg.Feat.LocalListen {
+		k.tables.LocalListen = make([]*tcb.ListenTable, cfg.Cores)
+		for i := range k.tables.LocalListen {
+			k.tables.LocalListen[i] = tcb.NewListen(c.TCB, nil)
+		}
+	}
+	if cfg.Feat.LocalEst {
+		k.tables.LocalEst = make([]*tcb.EstablishedTable, cfg.Cores)
+		for i := range k.tables.LocalEst {
+			k.tables.LocalEst[i] = tcb.NewEstablished(cfg.LocalEhashBuckets, nil, c.TCB)
+		}
+	}
+	if cfg.Feat.RFD {
+		k.rfd = core.NewRFD(cfg.Cores, cfg.RFDSalt)
+		if cfg.RFDRandomBits {
+			k.rfd.SelectBits(k.rng)
+		}
+		k.rfd.Precise = cfg.RFDPrecise
+		if cfg.NICMode == nic.FDirPerfect {
+			k.rfd.ProgramNIC(k.nic)
+		}
+	}
+	if cfg.RFS {
+		k.rfs = newRFSTable(cfg.RFSTableSize)
+	}
+	k.wheels = make([]*ktimer.Wheel, cfg.Cores)
+	for i := range k.wheels {
+		k.wheels[i] = ktimer.NewWheel(k.machine.Core(i), loop, c.LockBounce, c.Timer)
+	}
+	return k
+}
+
+// Accessors used by applications, experiments, and tools.
+
+// Config returns the (defaulted) configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Loop returns the shared event loop.
+func (k *Kernel) Loop() *sim.Loop { return k.loop }
+
+// Machine returns the CPU model.
+func (k *Kernel) Machine() *cpu.Machine { return k.machine }
+
+// NIC returns the adapter model.
+func (k *Kernel) NIC() *nic.NIC { return k.nic }
+
+// Cache returns the L3 domain.
+func (k *Kernel) Cache() *cache.Domain { return k.l3 }
+
+// VFS returns the VFS layer.
+func (k *Kernel) VFS() *vfs.Layer { return k.vfsl }
+
+// Tables returns the TCB policy layer.
+func (k *Kernel) Tables() *core.Tables { return k.tables }
+
+// Stats returns a snapshot of the kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Rand returns the kernel's PRNG (for workload generators sharing the
+// deterministic stream).
+func (k *Kernel) Rand() *sim.Rand { return k.rng }
+
+// IPs returns the machine's local addresses.
+func (k *Kernel) IPs() []netproto.IP { return k.cfg.IPs }
+
+func (k *Kernel) nextISN() uint32 {
+	k.isn += 64019 // arbitrary odd stride
+	return k.isn
+}
+
+func (k *Kernel) isLocalIP(ip netproto.IP) bool {
+	for _, a := range k.cfg.IPs {
+		if a == ip {
+			return true
+		}
+	}
+	return false
+}
+
+// --- RX path ---------------------------------------------------------
+
+// Deliver is the wire handing a packet to the NIC: steer to an RX
+// queue, raise the interrupt on that core.
+func (k *Kernel) Deliver(p *netproto.Packet) {
+	q := k.nic.SteerRX(p)
+	k.stats.PacketsIn++
+	// Figure 5b instrumentation: first-touch locality for active
+	// flows (not charged; pure measurement).
+	if e, ok := k.flowHome[p.Tuple()]; ok && e.active {
+		k.stats.ActiveIn++
+		if e.sk.HomeCore == q {
+			k.stats.ActiveLocal++
+		}
+	}
+	if k.tracer != nil {
+		k.tracer.Trace(0, p, q)
+	}
+	k.machine.Core(q).SubmitSoftIRQ(func(t *cpu.Task) { k.netrx(t, p, false) })
+}
+
+// SetTracer attaches a packet tracer (nil detaches).
+func (k *Kernel) SetTracer(tr PacketTracer) { k.tracer = tr }
+
+// touch records an access to a socket's cache working set plus the
+// surrounding core-local traffic (keeps the bounce share of total L3
+// traffic realistic).
+func (k *Kernel) touch(t *cpu.Task, sk *tcp.Sock) {
+	k.l3.Access(t, &sk.Lines)
+	k.l3.Background(t, 3)
+}
+
+func (k *Kernel) inputCost(p *netproto.Packet) sim.Time {
+	c := k.cfg.Costs
+	switch {
+	case p.Flags.Has(netproto.SYN):
+		return c.InputSYN
+	case len(p.Payload) > 0:
+		return c.InputData
+	case p.Flags.Has(netproto.FIN):
+		return c.InputFIN
+	default:
+		return c.InputACK
+	}
+}
+
+// netrx is NET_RX SoftIRQ: demux, (optional) RFD steering, TCP input.
+func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
+	c := k.cfg.Costs
+	if steered {
+		// The sk_buff was already received and demuxed on the RX
+		// core; the target core only dequeues it from its backlog.
+		t.Charge(c.RxSteered)
+	} else {
+		t.Charge(c.RxBase + c.RxPerByte*sim.Time(len(p.Payload)))
+	}
+
+	if k.rfd != nil && !steered {
+		hasListener := func(a netproto.Addr) bool { return k.tables.HasListener(t, a) }
+		if target, active := k.rfd.Steer(p, hasListener); active && target != t.CoreID() {
+			t.Charge(c.RFDSteer)
+			k.stats.SoftSteers++
+			k.machine.Core(target).SubmitSoftIRQ(func(t2 *cpu.Task) { k.netrx(t2, p, true) })
+			return
+		}
+	} else if k.rfs != nil && !steered {
+		// Best-effort RFS: consult the flow table; collisions may
+		// mis-steer, which is harmless with global TCB tables.
+		t.Charge(c.RFSLookup)
+		if target := k.rfsTarget(p); target >= 0 && target != t.CoreID() {
+			t.Charge(c.RFDSteer)
+			k.rfs.steers++
+			k.stats.SoftSteers++
+			k.machine.Core(target).SubmitSoftIRQ(func(t2 *cpu.Task) { k.netrx(t2, p, true) })
+			return
+		}
+	}
+
+	ft := p.Tuple()
+	if sk := k.tables.LookupEstablished(t, ft); sk != nil {
+		sk.Slock.Acquire(t)
+		k.touch(t, sk)
+		t.Charge(k.inputCost(p))
+		tcp.Input(k, t, sk, p)
+		sk.Slock.Release(t)
+		return
+	}
+
+	if p.Flags.Has(netproto.SYN) && !p.Flags.Has(netproto.ACK) {
+		// The SO_REUSEPORT selection hash (inet_ehashfn-derived) is
+		// unrelated to the NIC's RSS Toeplitz hash, so the chosen
+		// worker is uncorrelated with the RX core.
+		lsk, _ := k.tables.LookupListen(t, p.Dst, uint32(ft.Hash()>>13), k.cfg.Reuseport())
+		if lsk != nil {
+			lsk.Slock.Acquire(t)
+			k.touch(t, lsk)
+			before := lsk.DroppedSegs
+			child := tcp.ListenInput(k, t, lsk, p, k.nextISN(), c.LockBounce)
+			lsk.Slock.Release(t)
+			if child == nil && lsk.DroppedSegs > before {
+				k.stats.ListenDrops++
+			}
+			return
+		}
+	}
+
+	// A valid SYN-cookie ACK reconstructs its connection statelessly.
+	if k.cfg.TCP.SynCookies && p.Flags.Has(netproto.ACK) && !p.Flags.Has(netproto.SYN) && !p.Flags.Has(netproto.RST) {
+		lsk, _ := k.tables.LookupListen(t, p.Dst, uint32(ft.Hash()>>13), k.cfg.Reuseport())
+		if lsk != nil {
+			// Cookie validation is stateless (no listener lock —
+			// that is the point of the defence); only a successful
+			// reconstruction touches the accept queue, inside
+			// Accepted.
+			t.Charge(c.CookieCheck)
+			if child := tcp.AcceptCookieACK(k, t, lsk, p, c.LockBounce); child != nil {
+				k.stats.CookieAccepts++
+				return
+			}
+		}
+	}
+
+	// No socket wants this packet: answer RST (never RST an RST).
+	if !p.Flags.Has(netproto.RST) {
+		t.Charge(c.SendRST)
+		k.stats.RSTSent++
+		rst := &netproto.Packet{
+			Src:   p.Dst,
+			Dst:   p.Src,
+			Flags: netproto.RST,
+			Seq:   p.Ack,
+		}
+		k.rawTransmit(t, rst)
+	}
+}
+
+func (k *Kernel) rawTransmit(t *cpu.Task, p *netproto.Packet) {
+	c := k.cfg.Costs
+	t.Charge(c.TxBase + c.TxPerByte*sim.Time(len(p.Payload)))
+	k.nic.ObserveTX(p, t.CoreID())
+	k.stats.PacketsOut++
+	if k.tracer != nil {
+		k.tracer.Trace(1, p, t.CoreID())
+	}
+	if k.SendToWire != nil {
+		send := k.SendToWire
+		t.Defer(func() { send(p) })
+	}
+}
+
+// --- tcp.Env implementation ------------------------------------------
+
+var _ tcp.Env = (*Kernel)(nil)
+
+// Transmit implements tcp.Env.
+func (k *Kernel) Transmit(t *cpu.Task, sk *tcp.Sock, p *netproto.Packet) {
+	k.rawTransmit(t, p)
+}
+
+// InsertEstablished implements tcp.Env.
+func (k *Kernel) InsertEstablished(t *cpu.Task, sk *tcp.Sock) {
+	if sk.User == nil {
+		// Passive child created inside ListenInput.
+		sk.User = &sockExt{sk: sk, fd: -1}
+	}
+	k.tables.InsertEstablished(t, sk)
+	k.flowHome[sk.Tuple()] = ext(sk)
+	k.touch(t, sk) // first touch of the new TCB
+}
+
+// Accepted implements tcp.Env: queue the ESTABLISHED child on its
+// listener and wake acceptors.
+func (k *Kernel) Accepted(t *cpu.Task, child *tcp.Sock) {
+	c := k.cfg.Costs
+	parent := child.Parent
+	if parent == nil {
+		return
+	}
+	parent.Slock.Acquire(t)
+	t.Charge(c.AcceptPush)
+	parent.AcceptQueue = append(parent.AcceptQueue, child)
+	parent.Slock.Release(t)
+
+	lex := ext(parent).listen
+	if lex == nil {
+		return
+	}
+	if parent.HomeCore >= 0 && parent.Parent != nil {
+		// Local listen clone: wake the one process on its core.
+		for _, pw := range lex.watchers {
+			if pw.proc.Core == parent.HomeCore {
+				pw.proc.Ep.Notify(t, pw.watch, epoll.In)
+				return
+			}
+		}
+		return
+	}
+	// Shared (or reuseport-private) listen socket.
+	if len(lex.watchers) == 0 {
+		return
+	}
+	if k.acceptWakeAll {
+		// Thundering herd: epoll queues the event on every instance
+		// that registered the fd (HAProxy's multi-process mode; no
+		// accept serialization). The wake order starts from a slowly
+		// drifting index — the scheduler favours the same runnable
+		// workers for a while, which is what sustains the load
+		// imbalance of Figure 3, but the preference does migrate.
+		n := len(lex.watchers)
+		start := (lex.nextWake / 64) % n
+		lex.nextWake++
+		for i := 0; i < n; i++ {
+			pw := lex.watchers[(start+i)%n]
+			pw.proc.Ep.Notify(t, pw.watch, epoll.In)
+		}
+		return
+	}
+	// Accept-mutex discipline (Nginx default in the paper's era):
+	// only one worker polls the shared listen sockets at a time;
+	// model it as a rotating single wakeup.
+	pw := lex.watchers[lex.nextWake%len(lex.watchers)]
+	lex.nextWake++
+	pw.proc.Ep.Notify(t, pw.watch, epoll.In)
+}
+
+// SetAcceptWakeAll selects how readiness of a *shared* listen socket
+// wakes pollers: true = wake every registered epoll (thundering
+// herd, HAProxy-style), false = rotate a single wakeup (Nginx's
+// accept_mutex discipline). Irrelevant for SO_REUSEPORT and local
+// listen tables, where each listener has one owner.
+func (k *Kernel) SetAcceptWakeAll(v bool) { k.acceptWakeAll = v }
+
+// ConnectDone implements tcp.Env.
+func (k *Kernel) ConnectDone(t *cpu.Task, sk *tcp.Sock, err error) {
+	e := ext(sk)
+	if e.owner == nil || e.watch == nil {
+		return
+	}
+	ev := epoll.Events(epoll.Out)
+	if err != nil {
+		ev = epoll.Err
+	}
+	e.owner.Ep.Notify(t, e.watch, ev)
+}
+
+// Readable implements tcp.Env.
+func (k *Kernel) Readable(t *cpu.Task, sk *tcp.Sock) {
+	e := ext(sk)
+	if e.owner == nil || e.watch == nil {
+		return
+	}
+	e.owner.Ep.Notify(t, e.watch, epoll.In)
+}
+
+// Destroy implements tcp.Env: unlink the socket and release kernel
+// resources (the fd, if open, stays; reads see EOF).
+func (k *Kernel) Destroy(t *cpu.Task, sk *tcp.Sock) {
+	e := ext(sk)
+	if e.rtx != nil {
+		e.rtx.Cancel(t)
+		e.rtx = nil
+	}
+	if e.tw != nil {
+		e.tw.Cancel(t)
+		e.tw = nil
+	}
+	if _, ok := k.flowHome[sk.Tuple()]; ok {
+		k.tables.RemoveEstablished(t, sk)
+		delete(k.flowHome, sk.Tuple())
+	}
+	if e.portBound {
+		delete(k.usedPorts, sk.Local)
+		e.portBound = false
+	}
+	addLockStats(&k.slockAgg, sk.Slock.Stats())
+}
+
+// ArmRetransmit implements tcp.Env.
+func (k *Kernel) ArmRetransmit(t *cpu.Task, sk *tcp.Sock, d sim.Time) {
+	e := ext(sk)
+	if e.rtx != nil {
+		e.rtx.Cancel(t)
+	}
+	w := k.wheels[k.timerCore(sk)]
+	e.rtx = w.Arm(t, d, func(ht *cpu.Task) {
+		sk.Slock.Acquire(ht)
+		k.touch(ht, sk)
+		tcp.RetransmitTimeout(k, ht, sk)
+		sk.Slock.Release(ht)
+	})
+}
+
+// CancelRetransmit implements tcp.Env.
+func (k *Kernel) CancelRetransmit(t *cpu.Task, sk *tcp.Sock) {
+	e := ext(sk)
+	if e.rtx != nil {
+		e.rtx.Cancel(t)
+		e.rtx = nil
+	}
+}
+
+// StartTimeWait implements tcp.Env.
+func (k *Kernel) StartTimeWait(t *cpu.Task, sk *tcp.Sock) {
+	e := ext(sk)
+	w := k.wheels[k.timerCore(sk)]
+	e.tw = w.Arm(t, k.cfg.TimeWait, func(ht *cpu.Task) {
+		sk.Slock.Acquire(ht)
+		tcp.TimeWaitExpire(k, ht, sk)
+		sk.Slock.Release(ht)
+	})
+}
+
+// timerCore picks the wheel a socket's timers live on: its home core
+// (where the TCB was created), as in Linux where the timer base is
+// bound at socket initialization.
+func (k *Kernel) timerCore(sk *tcp.Sock) int {
+	if sk.HomeCore >= 0 && sk.HomeCore < k.cfg.Cores {
+		return sk.HomeCore
+	}
+	return 0
+}
+
+func addLockStats(dst *lock.Stats, s lock.Stats) {
+	dst.Acquisitions += s.Acquisitions
+	dst.Contended += s.Contended
+	dst.WaitTime += s.WaitTime
+	dst.HoldTime += s.HoldTime
+	dst.Bounces += s.Bounces
+}

@@ -1,0 +1,456 @@
+package kernel
+
+import (
+	"fmt"
+
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/epoll"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/tcp"
+	"fastsocket/internal/vfs"
+)
+
+// Process is one application worker, pinned to a core (as every
+// benchmark in the paper pins its workers). It owns an fd table and
+// one epoll instance, and runs an event loop: epoll_wait, hand the
+// batch to the application callback, repeat.
+type Process struct {
+	K    *Kernel
+	PID  int
+	Core int
+	FDs  *vfs.FDTable
+	Ep   *epoll.Instance
+
+	// OnStart runs once, in process context, before the first wait
+	// (socket setup, initial connects).
+	OnStart func(t *cpu.Task)
+	// OnEvents handles one epoll_wait batch of (fd, events) pairs.
+	OnEvents func(t *cpu.Task, evs []epoll.Ready)
+	// BatchMax caps events per epoll_wait (nginx uses 512).
+	BatchMax int
+
+	started   bool
+	scheduled bool
+	dead      bool
+	wasAsleep bool
+}
+
+// NewProcess creates a worker pinned to the given core.
+func (k *Kernel) NewProcess(coreID int) *Process {
+	if coreID < 0 || coreID >= k.cfg.Cores {
+		panic(fmt.Sprintf("kernel: process pinned to invalid core %d", coreID))
+	}
+	p := &Process{
+		K:        k,
+		PID:      len(k.procs) + 1000,
+		Core:     coreID,
+		FDs:      vfs.NewFDTable(),
+		Ep:       epoll.New(k.cfg.Costs.LockBounce, k.cfg.Costs.Epoll),
+		BatchMax: 16,
+	}
+	p.Ep.SetWaker(p.schedule)
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Procs returns the machine's processes.
+func (k *Kernel) Procs() []*Process { return k.procs }
+
+// Start schedules the process's first run.
+func (p *Process) Start() { p.schedule() }
+
+// Kill marks the process dead: it stops running, and its local listen
+// clones are torn down — the robustness scenario of §2.1/§3.2.1.
+func (p *Process) Kill() {
+	p.dead = true
+	// The kernel reaps the process's local listen clones.
+	for _, lsk := range p.K.allListeners {
+		lex := ext(lsk).listen
+		if lex == nil {
+			continue
+		}
+		if clone, ok := lex.clones[p.Core]; ok && clone.HomeCore == p.Core {
+			// Run as kernel work on the process's core.
+			cl := clone
+			p.K.machine.Core(p.Core).Submit(func(t *cpu.Task) {
+				p.K.tables.RemoveLocalListener(t, cl)
+			})
+			delete(lex.clones, p.Core)
+		}
+		// Remove the dead process from the wake list.
+		ws := lex.watchers[:0]
+		for _, pw := range lex.watchers {
+			if pw.proc != p {
+				ws = append(ws, pw)
+			}
+		}
+		lex.watchers = ws
+	}
+}
+
+// Dead reports whether Kill was called.
+func (p *Process) Dead() bool { return p.dead }
+
+func (p *Process) schedule() {
+	if p.scheduled || p.dead {
+		return
+	}
+	p.scheduled = true
+	p.K.machine.Core(p.Core).Submit(p.run)
+}
+
+func (p *Process) run(t *cpu.Task) {
+	p.scheduled = false
+	if p.dead {
+		return
+	}
+	if p.wasAsleep {
+		// Waking from epoll_wait costs a context switch; herds of
+		// pointless wakeups on a shared listen socket each pay it.
+		p.wasAsleep = false
+		t.Charge(p.K.cfg.Costs.ContextSwitch)
+	}
+	if !p.started {
+		p.started = true
+		if p.OnStart != nil {
+			p.OnStart(t)
+		}
+	}
+	evs := p.Ep.Wait(t, p.BatchMax)
+	if len(evs) == 0 {
+		p.wasAsleep = true
+	}
+	if len(evs) > 0 {
+		if p.OnEvents != nil {
+			p.OnEvents(t, evs)
+		}
+		// Re-enter epoll_wait; an empty wait marks us sleeping so
+		// the next Notify wakes us.
+		p.schedule()
+	}
+}
+
+// --- Syscall layer ----------------------------------------------------
+
+// Socket creates a TCP socket and returns its fd.
+func (p *Process) Socket(t *cpu.Task) int {
+	k := p.K
+	c := k.cfg.Costs
+	t.Charge(c.SockAlloc)
+	sk := tcp.NewSock(k.cfg.TCP, c.LockBounce)
+	e := &sockExt{sk: sk, owner: p, fd: -1}
+	sk.User = e
+	e.file = k.vfsl.AllocSocketFile(t, sk)
+	e.fd = p.FDs.Install(e.file)
+	return e.fd
+}
+
+func (p *Process) sockAt(fd int) *sockExt {
+	f := p.FDs.Get(fd)
+	if f == nil {
+		return nil
+	}
+	sk, ok := f.Sock.(*tcp.Sock)
+	if !ok {
+		return nil
+	}
+	return ext(sk)
+}
+
+// Bind assigns the local address.
+func (p *Process) Bind(t *cpu.Task, fd int, addr netproto.Addr) error {
+	e := p.sockAt(fd)
+	if e == nil {
+		return errBadFD(fd)
+	}
+	if !p.K.isLocalIP(addr.IP) && addr.IP != 0 {
+		return fmt.Errorf("kernel: bind to non-local address %v", addr)
+	}
+	e.sk.Local = addr
+	return nil
+}
+
+// Listen turns the socket into a listener and registers it in the
+// global listen table. Under Linux313 each process calls this on its
+// own socket (SO_REUSEPORT); under the other profiles one shared
+// socket is attached to every worker via AttachListener.
+func (p *Process) Listen(t *cpu.Task, fd int) error {
+	k := p.K
+	e := p.sockAt(fd)
+	if e == nil {
+		return errBadFD(fd)
+	}
+	t.Charge(k.cfg.Costs.ListenSetup)
+	e.sk.State = tcp.Listen
+	e.listen = &listenExt{global: e.sk, clones: map[int]*tcp.Sock{}}
+	k.tables.GlobalListen.Insert(t, e.sk)
+	k.allListeners = append(k.allListeners, e.sk)
+	return nil
+}
+
+// BootListener creates a listening socket at boot time (the master
+// process's socket/bind/listen before forking workers): uncharged,
+// since it happens once outside the measured workload.
+func (k *Kernel) BootListener(addr netproto.Addr) *tcp.Sock {
+	sk := tcp.NewSock(k.cfg.TCP, k.cfg.Costs.LockBounce)
+	sk.Local = addr
+	sk.State = tcp.Listen
+	e := &sockExt{sk: sk, fd: -1}
+	e.listen = &listenExt{global: sk, clones: map[int]*tcp.Sock{}}
+	sk.User = e
+	e.file = k.vfsl.AllocBoot(sk)
+	k.tables.GlobalListen.Insert(nil, sk)
+	k.allListeners = append(k.allListeners, sk)
+	return sk
+}
+
+// AttachListener installs an already-listening socket (created by the
+// parent before fork) into this process's fd table.
+func (p *Process) AttachListener(t *cpu.Task, lsk *tcp.Sock) int {
+	e := ext(lsk)
+	fd := p.FDs.Install(e.file)
+	return fd
+}
+
+// LocalListen is Fastsocket's local_listen(): clone the listener into
+// this core's local listen table.
+func (p *Process) LocalListen(t *cpu.Task, fd int) error {
+	k := p.K
+	f := p.FDs.Get(fd)
+	if f == nil {
+		return errBadFD(fd)
+	}
+	lsk := f.Sock.(*tcp.Sock)
+	e := ext(lsk)
+	if e.listen == nil {
+		return fmt.Errorf("kernel: local_listen on non-listening fd %d", fd)
+	}
+	if !k.cfg.Feat.LocalListen {
+		return fmt.Errorf("kernel: local_listen unsupported on %v", k.cfg.Mode)
+	}
+	t.Charge(k.cfg.Costs.ListenSetup)
+	clone := k.tables.CloneListener(t, lsk, p.Core)
+	clone.User = lsk.User // share the listenExt
+	e.listen.clones[p.Core] = clone
+	return nil
+}
+
+// EpollAdd registers fd with the process's epoll instance.
+func (p *Process) EpollAdd(t *cpu.Task, fd int) {
+	f := p.FDs.Get(fd)
+	if f == nil {
+		return
+	}
+	sk := f.Sock.(*tcp.Sock)
+	e := ext(sk)
+	w := p.Ep.Register(t, fd)
+	if e.listen != nil {
+		e.listen.watchers = append(e.listen.watchers, procWatch{proc: p, watch: w})
+		return
+	}
+	e.watch = w
+	// Level-triggered ADD semantics: if the socket is already
+	// readable (data raced ahead of accept()) or writable, report it
+	// immediately, as real epoll_ctl does.
+	if len(sk.RcvBuf) > 0 || sk.RcvFIN {
+		p.Ep.Notify(t, w, epoll.In)
+	}
+}
+
+// Accept dequeues a ready connection: the global accept queue is
+// checked first with a lock-free read (Fastsocket's ordering, so the
+// slow path cannot starve), then the core's local listen clone. It
+// returns the new fd, or ok=false for EAGAIN.
+func (p *Process) Accept(t *cpu.Task, fd int) (int, bool) {
+	k := p.K
+	c := k.cfg.Costs
+	t.Charge(c.Accept)
+	f := p.FDs.Get(fd)
+	if f == nil {
+		return -1, false
+	}
+	lsk := f.Sock.(*tcp.Sock)
+	lex := ext(lsk).listen
+	if lex == nil {
+		return -1, false
+	}
+
+	var child *tcp.Sock
+	pop := func(sk *tcp.Sock, shared bool) {
+		if len(sk.AcceptQueue) > 0 {
+			if shared {
+				t.Charge(c.AcceptPopShared)
+			} else {
+				t.Charge(c.AcceptPop)
+			}
+			child = sk.AcceptQueue[0]
+			sk.AcceptQueue = sk.AcceptQueue[1:]
+		} else {
+			t.Charge(c.AcceptEmpty)
+		}
+	}
+
+	clone := lex.clones[p.Core]
+	if clone != nil {
+		// Fast path: lock-free check of the global queue first.
+		t.Charge(c.AtomicCheck)
+		if len(lex.global.AcceptQueue) > 0 {
+			lex.global.Slock.With(t, func() { pop(lex.global, true) })
+		}
+		if child == nil && len(clone.AcceptQueue) > 0 {
+			clone.Slock.With(t, func() { pop(clone, false) })
+		}
+	} else {
+		// Stock path: the (possibly shared) listen socket lock.
+		lsk.Slock.Acquire(t)
+		k.touch(t, lsk)
+		pop(lsk, true)
+		lsk.Slock.Release(t)
+	}
+
+	if child == nil {
+		k.stats.AcceptEmpty++
+		return -1, false
+	}
+	k.stats.Accepts++
+	e := ext(child)
+	e.owner = p
+	e.file = k.vfsl.AllocSocketFile(t, child)
+	e.fd = p.FDs.Install(e.file)
+	k.touch(t, child)
+	return e.fd, true
+}
+
+// Connect opens an active connection to raddr. The socket's home core
+// is the caller's; with RFD the source port encodes it.
+func (p *Process) Connect(t *cpu.Task, fd int, raddr netproto.Addr) error {
+	k := p.K
+	c := k.cfg.Costs
+	e := p.sockAt(fd)
+	if e == nil {
+		return errBadFD(fd)
+	}
+	t.Charge(c.Connect)
+	localIP := e.sk.Local.IP
+	if localIP == 0 {
+		localIP = k.cfg.IPs[0]
+	}
+	port, ok := k.allocPort(t, p.Core, localIP)
+	if !ok {
+		return fmt.Errorf("kernel: ephemeral ports exhausted on %v", localIP)
+	}
+	e.sk.Local = netproto.Addr{IP: localIP, Port: port}
+	e.sk.Remote = raddr
+	e.sk.HomeCore = p.Core
+	e.active = true
+	e.portBound = true
+	k.usedPorts[e.sk.Local] = true
+	k.stats.Connects++
+
+	e.sk.Slock.Acquire(t)
+	// Linux hashes the socket at connect time so the SYN-ACK can be
+	// demultiplexed.
+	k.InsertEstablished(t, e.sk)
+	k.l3.Background(t, 3)
+	tcp.ConnectStart(k, t, e.sk, k.nextISN())
+	e.sk.Slock.Release(t)
+	return nil
+}
+
+// allocPort picks an ephemeral source port: RFD-aware when the module
+// is loaded, a simple cursor otherwise.
+func (k *Kernel) allocPort(t *cpu.Task, coreID int, ip netproto.IP) (netproto.Port, bool) {
+	inUse := func(p netproto.Port) bool {
+		return k.usedPorts[netproto.Addr{IP: ip, Port: p}]
+	}
+	if k.rfd != nil {
+		return k.rfd.ChoosePort(coreID, inUse)
+	}
+	span := int(netproto.EphemeralHigh - netproto.EphemeralLow + 1)
+	p := k.portCursor
+	for i := 0; i < span; i++ {
+		if !inUse(p) {
+			next := p + 1
+			if next > netproto.EphemeralHigh {
+				next = netproto.EphemeralLow
+			}
+			k.portCursor = next
+			return p, true
+		}
+		p++
+		if p > netproto.EphemeralHigh {
+			p = netproto.EphemeralLow
+		}
+	}
+	return 0, false
+}
+
+// Recv reads up to max bytes (0 = all available).
+func (p *Process) Recv(t *cpu.Task, fd int, max int) (data []byte, eof bool, ok bool) {
+	k := p.K
+	c := k.cfg.Costs
+	e := p.sockAt(fd)
+	if e == nil {
+		return nil, false, false
+	}
+	t.Charge(c.Recv)
+	e.sk.Slock.Acquire(t)
+	k.touch(t, e.sk)
+	data, eof = tcp.Recv(e.sk, max)
+	e.sk.Slock.Release(t)
+	k.rfsRecord(t, e.sk)
+	t.Charge(c.RecvPerByte * sim.Time(len(data)))
+	return data, eof, true
+}
+
+// Send writes data to the connection, returning bytes queued.
+func (p *Process) Send(t *cpu.Task, fd int, data []byte) int {
+	k := p.K
+	c := k.cfg.Costs
+	e := p.sockAt(fd)
+	if e == nil {
+		return 0
+	}
+	t.Charge(c.Send + c.SendPerByte*sim.Time(len(data)))
+	e.sk.Slock.Acquire(t)
+	k.touch(t, e.sk)
+	n := tcp.Send(k, t, e.sk, data)
+	e.sk.Slock.Release(t)
+	return n
+}
+
+// CloseFD closes the descriptor: epoll deregistration, VFS teardown,
+// and the TCP close handshake for connection sockets.
+func (p *Process) CloseFD(t *cpu.Task, fd int) {
+	k := p.K
+	c := k.cfg.Costs
+	f := p.FDs.Release(fd)
+	if f == nil {
+		return
+	}
+	t.Charge(c.Close)
+	sk, okSock := f.Sock.(*tcp.Sock)
+	if !okSock {
+		return
+	}
+	e := ext(sk)
+	if e.watch != nil {
+		p.Ep.Unregister(t, e.watch)
+		e.watch = nil
+	}
+	e.appClosed = true
+	if e.listen != nil {
+		// Closing a listen fd in one worker does not tear down the
+		// shared listener; a full teardown is out of scope for the
+		// benchmarks (processes run for the whole experiment).
+		return
+	}
+	k.vfsl.FreeSocketFile(t, e.file)
+	sk.Slock.Acquire(t)
+	k.touch(t, sk)
+	tcp.Close(k, t, sk)
+	sk.Slock.Release(t)
+}
+
+func errBadFD(fd int) error { return fmt.Errorf("kernel: bad file descriptor %d", fd) }

@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastsocket/internal/tcp"
+)
+
+// ProcNetTCPEntry is one row of the simulated /proc/net/tcp —
+// the interface netstat and lsof depend on, which Fastsocket-aware
+// VFS keeps working (§3.4).
+type ProcNetTCPEntry struct {
+	Local, Remote string
+	State         string
+	Inode         uint64
+}
+
+// ProcNetTCP renders the machine's TCP sockets the way /proc/net/tcp
+// would: listeners (global and per-core local), established,
+// and TIME_WAIT sockets, with their VFS inode numbers.
+func (k *Kernel) ProcNetTCP() []ProcNetTCPEntry {
+	var out []ProcNetTCPEntry
+	add := func(sk *tcp.Sock) {
+		var ino uint64
+		if sk.User != nil {
+			if e := ext(sk); e.file != nil {
+				ino = e.file.Ino
+			}
+		}
+		out = append(out, ProcNetTCPEntry{
+			Local:  sk.Local.String(),
+			Remote: sk.Remote.String(),
+			State:  sk.State.String(),
+			Inode:  ino,
+		})
+	}
+	k.tables.GlobalListen.ForEach(add)
+	for _, lt := range k.tables.LocalListen {
+		lt.ForEach(add)
+	}
+	if k.tables.UseLocalEst() {
+		for _, et := range k.tables.LocalEst {
+			et.ForEach(add)
+		}
+	} else {
+		k.tables.GlobalEst.ForEach(add)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Local != out[j].Local {
+			return out[i].Local < out[j].Local
+		}
+		return out[i].Remote < out[j].Remote
+	})
+	return out
+}
+
+// FormatProcNetTCP renders the table as text (fsnetstat's output).
+func (k *Kernel) FormatProcNetTCP() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-22s %-12s %8s\n", "Local Address", "Remote Address", "State", "Inode")
+	for _, e := range k.ProcNetTCP() {
+		fmt.Fprintf(&b, "%-22s %-22s %-12s %8d\n", e.Local, e.Remote, e.State, e.Inode)
+	}
+	return b.String()
+}
+
+// SocketSummary counts sockets by state (netstat -s flavour).
+func (k *Kernel) SocketSummary() map[string]int {
+	m := map[string]int{}
+	for _, e := range k.ProcNetTCP() {
+		m[e.State]++
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+package kernel
+
+import (
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/netproto"
+)
+
+// Receive Flow Steering (RFS) is the stock kernel's best-effort
+// software answer to connection locality (paper §2.2): a bounded flow
+// table records, per flow hash, the CPU where the application last
+// touched the flow; NET_RX steers incoming packets there.
+//
+// Like Linux's rps_sock_flow_table, entries are direct-indexed by
+// flow hash with no chaining: colliding flows overwrite each other
+// and can mis-steer packets, which is precisely why RFS provides only
+// a probabilistic guarantee and cannot support partitioned (local)
+// TCB tables — a mis-steered packet must still find its socket in the
+// global table.
+type rfsTable struct {
+	entries []int32 // target core per slot, -1 = empty
+	mask    uint64
+	updates uint64
+	steers  uint64
+	hits    uint64
+}
+
+func newRFSTable(size int) *rfsTable {
+	if size&(size-1) != 0 || size <= 0 {
+		panic("kernel: RFS table size must be a positive power of two")
+	}
+	t := &rfsTable{entries: make([]int32, size), mask: uint64(size - 1)}
+	for i := range t.entries {
+		t.entries[i] = -1
+	}
+	return t
+}
+
+func (r *rfsTable) slot(ft netproto.FourTuple) *int32 {
+	return &r.entries[ft.Hash()&r.mask]
+}
+
+// rfsRecord notes that the application processed ft on core (called
+// from recv/send syscalls, as Linux hooks recvmsg).
+func (k *Kernel) rfsRecord(t *cpu.Task, sk sockTupler) {
+	if k.rfs == nil {
+		return
+	}
+	t.Charge(k.cfg.Costs.RFSUpdate)
+	k.rfs.updates++
+	*k.rfs.slot(sk.Tuple()) = int32(t.CoreID())
+}
+
+// sockTupler lets rfsRecord take *tcp.Sock without an import dance.
+type sockTupler interface{ Tuple() netproto.FourTuple }
+
+// rfsTarget returns the steering target for an incoming packet, or
+// -1 when the table has no opinion.
+func (k *Kernel) rfsTarget(p *netproto.Packet) int {
+	if k.rfs == nil {
+		return -1
+	}
+	if c := *k.rfs.slot(p.Tuple()); c >= 0 {
+		k.rfs.hits++
+		return int(c)
+	}
+	return -1
+}
+
+// RFSStats reports table activity (updates, steers performed).
+type RFSStats struct {
+	Updates, Steers, Hits uint64
+}
+
+// RFSStats returns a snapshot, all zero when RFS is off.
+func (k *Kernel) RFSStats() RFSStats {
+	if k.rfs == nil {
+		return RFSStats{}
+	}
+	return RFSStats{Updates: k.rfs.updates, Steers: k.rfs.steers, Hits: k.rfs.hits}
+}

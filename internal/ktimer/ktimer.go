@@ -1,0 +1,107 @@
+// Package ktimer models the kernel's per-CPU timer wheels.
+//
+// Each core owns one wheel protected by its "base.lock" spinlock —
+// the lock the paper's Table 1 shows contended in the baseline
+// kernel. TCP arms a retransmission timer when it sends and cancels
+// it when the ACK arrives; without connection locality the arm
+// happens in process context on one core while the cancel happens in
+// NET_RX SoftIRQ on another, so base.lock bounces between them. With
+// Fastsocket's complete connection locality both touches happen on
+// the wheel's own core and the lock is never contended.
+//
+// Timer expiry executes in interrupt context on the wheel's core, as
+// in Linux.
+package ktimer
+
+import (
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/lock"
+	"fastsocket/internal/sim"
+)
+
+// Costs charges wheel operations.
+type Costs struct {
+	Arm    sim.Time // enqueueing a timer (lock hold)
+	Cancel sim.Time // dequeueing a timer (lock hold)
+	Expire sim.Time // expiry bookkeeping before the handler runs
+}
+
+// Stats counts wheel activity.
+type Stats struct {
+	Armed, Cancelled, Fired uint64
+}
+
+// Wheel is one core's timer wheel.
+type Wheel struct {
+	core  *cpu.Core
+	loop  *sim.Loop
+	Lock  *lock.SpinLock // "base.lock"
+	costs Costs
+	stats Stats
+}
+
+// NewWheel builds the wheel for a core. bounce is the base.lock
+// cache-line transfer penalty.
+func NewWheel(core *cpu.Core, loop *sim.Loop, bounce sim.Time, costs Costs) *Wheel {
+	return &Wheel{
+		core:  core,
+		loop:  loop,
+		Lock:  lock.New("base.lock", bounce),
+		costs: costs,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (w *Wheel) Stats() Stats { return w.stats }
+
+// Core returns the owning core.
+func (w *Wheel) Core() *cpu.Core { return w.core }
+
+// Timer is one armed timer.
+type Timer struct {
+	wheel *Wheel
+	ev    *sim.Event
+	fired bool
+}
+
+// Arm schedules fn to run on the wheel's core after d. The calling
+// context pays the base.lock costs (contending if the wheel belongs
+// to another core).
+func (w *Wheel) Arm(t *cpu.Task, d sim.Time, fn func(*cpu.Task)) *Timer {
+	w.Lock.Acquire(t)
+	t.Charge(w.costs.Arm)
+	w.Lock.Release(t)
+	w.stats.Armed++
+	tm := &Timer{wheel: w}
+	tm.ev = w.loop.At(t.Now()+d, func() {
+		tm.fired = true
+		w.core.SubmitSoftIRQ(func(ht *cpu.Task) {
+			// Expiry re-takes base.lock to dequeue.
+			w.Lock.Acquire(ht)
+			ht.Charge(w.costs.Expire)
+			w.Lock.Release(ht)
+			w.stats.Fired++
+			fn(ht)
+		})
+	})
+	return tm
+}
+
+// Cancel deactivates the timer; a no-op if it already fired or was
+// cancelled. The calling context pays the base.lock costs.
+func (tm *Timer) Cancel(t *cpu.Task) {
+	if tm == nil || tm.fired || tm.ev.Cancelled() {
+		return
+	}
+	w := tm.wheel
+	w.Lock.Acquire(t)
+	t.Charge(w.costs.Cancel)
+	w.Lock.Release(t)
+	w.stats.Cancelled++
+	tm.ev.Cancel()
+}
+
+// Active reports whether the timer is still pending.
+func (tm *Timer) Active() bool {
+	return tm != nil && !tm.fired && !tm.ev.Cancelled()
+}

@@ -1,0 +1,150 @@
+package ktimer
+
+import (
+	"testing"
+
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/sim"
+)
+
+func setup(cores int) (*sim.Loop, *cpu.Machine, []*Wheel) {
+	loop := sim.NewLoop()
+	m := cpu.NewMachine(loop, cores)
+	wheels := make([]*Wheel, cores)
+	for i := range wheels {
+		wheels[i] = NewWheel(m.Core(i), loop, 0, Costs{Arm: 10, Cancel: 10, Expire: 5})
+	}
+	return loop, m, wheels
+}
+
+func TestTimerFiresOnWheelCore(t *testing.T) {
+	loop, m, wheels := setup(2)
+	var firedOn = -1
+	var firedAt sim.Time
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		// Core 0 arms a timer on core 1's wheel.
+		wheels[1].Arm(tk, 1000, func(ht *cpu.Task) {
+			firedOn = ht.CoreID()
+			firedAt = ht.Now()
+		})
+	})
+	loop.Run()
+	if firedOn != 1 {
+		t.Errorf("timer handler ran on core %d, want 1", firedOn)
+	}
+	if firedAt < 1000 {
+		t.Errorf("fired at %v, want >= 1000", firedAt)
+	}
+	if wheels[1].Stats().Fired != 1 || wheels[1].Stats().Armed != 1 {
+		t.Errorf("stats = %+v", wheels[1].Stats())
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	loop, m, wheels := setup(1)
+	fired := false
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		tm := wheels[0].Arm(tk, 1000, func(*cpu.Task) { fired = true })
+		if !tm.Active() {
+			t.Error("timer not active after arm")
+		}
+		tm.Cancel(tk)
+		if tm.Active() {
+			t.Error("timer active after cancel")
+		}
+	})
+	loop.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	if wheels[0].Stats().Cancelled != 1 {
+		t.Errorf("Cancelled = %d", wheels[0].Stats().Cancelled)
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	loop, m, wheels := setup(1)
+	var tm *Timer
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		tm = wheels[0].Arm(tk, 10, func(*cpu.Task) {})
+	})
+	loop.Run()
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		tm.Cancel(tk) // already fired
+	})
+	loop.Run()
+	if wheels[0].Stats().Cancelled != 0 {
+		t.Error("post-fire cancel counted")
+	}
+	var nilTimer *Timer
+	m.Core(0).Submit(func(tk *cpu.Task) { nilTimer.Cancel(tk) }) // must not panic
+	loop.Run()
+}
+
+func TestCrossCoreCancelContendsBaseLock(t *testing.T) {
+	loop, m, wheels := setup(2)
+	// Core 0 arms on its own wheel; core 1 cancels concurrently with
+	// another core-0 arm, so base.lock sees cross-core traffic.
+	var tm *Timer
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		tm = wheels[0].Arm(tk, 100000, func(*cpu.Task) {})
+	})
+	loop.RunUntil(1000) // before expiry
+	m.Core(1).Submit(func(tk *cpu.Task) { tm.Cancel(tk) })
+	loop.RunUntil(2000)
+	st := wheels[0].Lock.Stats()
+	if st.Bounces != 1 {
+		t.Errorf("base.lock bounces = %d, want 1 (cross-core cancel)", st.Bounces)
+	}
+}
+
+func TestExpiryRunsInSoftIRQPriority(t *testing.T) {
+	loop, m, wheels := setup(1)
+	var order []string
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		wheels[0].Arm(tk, 50, func(*cpu.Task) { order = append(order, "timer") })
+		// Keep the core busy well past the expiry instant.
+		tk.Charge(500)
+	})
+	// Process work queued before the expiry fires; when the core
+	// finally drains, the softirq expiry must still run first.
+	loop.At(20, func() {
+		m.Core(0).Submit(func(tk *cpu.Task) { order = append(order, "proc"); tk.Charge(1) })
+	})
+	loop.Run()
+	if len(order) != 2 || order[0] != "timer" {
+		t.Errorf("order = %v, want timer first", order)
+	}
+}
+
+func TestArmChargesCosts(t *testing.T) {
+	loop, m, wheels := setup(1)
+	var elapsed sim.Time
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		start := tk.Now()
+		tm := wheels[0].Arm(tk, 1000, func(*cpu.Task) {})
+		tm.Cancel(tk)
+		elapsed = tk.Now() - start
+	})
+	loop.Run()
+	if elapsed != 20 { // Arm 10 + Cancel 10
+		t.Errorf("arm+cancel charged %v, want 20", elapsed)
+	}
+}
+
+func TestManyTimersDeterministic(t *testing.T) {
+	loop, m, wheels := setup(4)
+	var fired []int
+	for i := 0; i < 40; i++ {
+		i := i
+		m.Core(i % 4).Submit(func(tk *cpu.Task) {
+			wheels[i%4].Arm(tk, sim.Time(1000-i*10), func(*cpu.Task) {
+				fired = append(fired, i)
+			})
+		})
+	}
+	loop.Run()
+	if len(fired) != 40 {
+		t.Fatalf("fired %d/40", len(fired))
+	}
+}

@@ -1,0 +1,357 @@
+// Package lock models kernel spinlocks with lockstat-style accounting.
+//
+// These are not real synchronization primitives: the whole simulation
+// is single-threaded. A SpinLock keeps a timeline of busy intervals in
+// simulated time; an acquirer takes the earliest free slot at or after
+// its own virtual timestamp, "spinning" (burning its core's cycles)
+// until then. A wait is recorded as a contended acquisition — the
+// statistic the paper's Table 1 reports from /proc/lock_stat.
+//
+// Two memory-system effects ride on top: a cross-core handoff charges
+// a cache-line transfer penalty to the new holder (detected by recency
+// of other-core acquisitions, not event order), and deep spin queues
+// degrade the handoff further (ticket-spinlock line ping-pong). These
+// are the mechanisms that make a hot global lock's effective cost grow
+// with core count and produce the baseline kernel's throughput
+// collapse beyond 12 cores (Figure 4a).
+package lock
+
+import "fastsocket/internal/sim"
+
+// Context is the execution context an acquirer runs in. It is
+// implemented by cpu.Task; the indirection keeps this package free of
+// a dependency on the CPU model.
+type Context interface {
+	// Now returns the context's current virtual time (task start plus
+	// everything charged so far).
+	Now() sim.Time
+	// Spin charges d of busy-wait time to the executing core.
+	Spin(d sim.Time)
+	// Charge charges d of useful work time to the executing core.
+	Charge(d sim.Time)
+	// CoreID identifies the executing core.
+	CoreID() int
+}
+
+// Stats is a snapshot of a lock's lockstat counters.
+type Stats struct {
+	Acquisitions uint64   // total acquisitions
+	Contended    uint64   // acquisitions that had to wait
+	WaitTime     sim.Time // total simulated time spent spinning
+	HoldTime     sim.Time // total simulated time the lock was held
+	Bounces      uint64   // cross-core ownership transfers
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Acquisitions: s.Acquisitions - prev.Acquisitions,
+		Contended:    s.Contended - prev.Contended,
+		WaitTime:     s.WaitTime - prev.WaitTime,
+		HoldTime:     s.HoldTime - prev.HoldTime,
+		Bounces:      s.Bounces - prev.Bounces,
+	}
+}
+
+type holdRec struct {
+	c  Context
+	at sim.Time
+}
+
+type interval struct{ start, end sim.Time }
+
+// PruneHorizon bounds how far back a lock remembers busy intervals.
+// Tasks in the discrete-event model can run ahead of the global clock
+// by at most one task length, so intervals older than the horizon can
+// never affect a future acquirer.
+const PruneHorizon = 2 * sim.Millisecond
+
+// SpinLock is a simulated kernel spinlock.
+//
+// Contention semantics: the lock keeps a timeline of busy intervals
+// (merged, sorted). An acquirer at virtual time ta takes the earliest
+// instant >= ta not covered by an existing interval, spinning for the
+// difference. This preserves true serialization (saturated locks
+// queue) while letting an acquirer that ran *earlier in virtual time*
+// than the latest holder use the gap that physically existed then —
+// tasks in the event model execute ahead of each other, and a naive
+// single free-at timestamp would anachronistically block earlier work
+// on other cores.
+type SpinLock struct {
+	name string
+
+	intervals []interval // disjoint, sorted by start
+	holds     []holdRec
+	avgHold   sim.Time // EWMA of hold durations, sizes gap-fitting
+
+	// recent1/recent2 track the most recent acquisition and the most
+	// recent acquisition by a *different* core, for bounce detection:
+	// if any other core took the lock within BounceHorizon of us, the
+	// line has left our cache regardless of event execution order.
+	recent1, recent2 struct {
+		core int
+		at   sim.Time
+	}
+
+	// BouncePenalty is the cache-line transfer cost charged on a
+	// cross-core handoff. Zero disables the model.
+	BouncePenalty sim.Time
+
+	stats Stats
+}
+
+// BounceHorizon is how long a lock's cache line plausibly survives in
+// the holder's cache under concurrent traffic: another core acquiring
+// within this window of us means we re-fetch the line.
+const BounceHorizon = 25 * sim.Microsecond
+
+// New returns a named spinlock. The name appears in lockstat reports.
+func New(name string, bouncePenalty sim.Time) *SpinLock {
+	l := &SpinLock{name: name, BouncePenalty: bouncePenalty}
+	l.recent1.core = -1
+	l.recent2.core = -1
+	return l
+}
+
+// Name returns the lockstat name.
+func (l *SpinLock) Name() string { return l.name }
+
+// Stats returns a snapshot of the lockstat counters.
+func (l *SpinLock) Stats() Stats { return l.stats }
+
+// ResetStats zeroes the lockstat counters.
+func (l *SpinLock) ResetStats() { l.stats = Stats{} }
+
+// slotAt returns the earliest instant >= ta at which the lock is free
+// for an expected hold duration on the reserved timeline.
+func (l *SpinLock) slotAt(ta sim.Time) sim.Time {
+	need := l.avgHold
+	if need <= 0 {
+		need = 1
+	}
+	t := ta
+	for _, iv := range l.intervals {
+		if iv.end <= t {
+			continue
+		}
+		if iv.start <= t {
+			t = iv.end
+			continue
+		}
+		if iv.start-t >= need {
+			// A gap wide enough for a typical hold: take it.
+			break
+		}
+		t = iv.end
+	}
+	return t
+}
+
+// prune drops intervals that no future acquirer can observe.
+func (l *SpinLock) prune(ta sim.Time) {
+	cut := 0
+	for cut < len(l.intervals) && l.intervals[cut].end < ta-PruneHorizon {
+		cut++
+	}
+	if cut > 0 {
+		l.intervals = append(l.intervals[:0], l.intervals[cut:]...)
+	}
+}
+
+// insert merges [start, end] into the timeline.
+func (l *SpinLock) insert(start, end sim.Time) {
+	// Find insertion point from the back (releases are usually the
+	// newest interval).
+	i := len(l.intervals)
+	for i > 0 && l.intervals[i-1].start > start {
+		i--
+	}
+	l.intervals = append(l.intervals, interval{})
+	copy(l.intervals[i+1:], l.intervals[i:])
+	l.intervals[i] = interval{start, end}
+	// Merge neighbours.
+	out := l.intervals[:0]
+	for _, iv := range l.intervals {
+		if n := len(out); n > 0 && iv.start <= out[n-1].end {
+			if iv.end > out[n-1].end {
+				out[n-1].end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	l.intervals = out
+}
+
+// Acquire takes the lock in context c, spinning (in simulated time)
+// until the timeline has a free slot. Panics on recursive acquisition
+// by the same context.
+func (l *SpinLock) Acquire(c Context) {
+	for _, h := range l.holds {
+		if h.c == c {
+			panic("lock: recursive acquisition of " + l.name)
+		}
+	}
+	l.stats.Acquisitions++
+	now := c.Now()
+	l.prune(now)
+	var waiters sim.Time
+	if slot := l.slotAt(now); slot > now {
+		wait := slot - now
+		c.Spin(wait)
+		l.stats.Contended++
+		l.stats.WaitTime += wait
+		if l.avgHold > 0 {
+			waiters = wait / l.avgHold // queue-depth estimate
+			if waiters > 32 {
+				waiters = 32
+			}
+		}
+	}
+	// The hold window starts here: the cache-line transfer and any
+	// contention-induced slowdown happen while others spin.
+	start := c.Now()
+	if l.bounced(c.CoreID(), start) {
+		l.stats.Bounces++
+		if l.BouncePenalty > 0 {
+			// Pulling the lock word (and the data it protects)
+			// across the interconnect costs the new holder time
+			// while holding the lock, inflating everyone's wait.
+			c.Charge(l.BouncePenalty)
+			// Spinners hammering the line slow the handoff further
+			// (ticket-spinlock ping-pong); this positive feedback is
+			// what collapses a saturated lock's throughput as cores
+			// are added (the paper's Figure 4a baseline).
+			if waiters > 1 {
+				c.Charge(l.BouncePenalty * (waiters - 1) / 4)
+			}
+		}
+	}
+	l.noteAcquire(c.CoreID(), start)
+	l.holds = append(l.holds, holdRec{c: c, at: start})
+}
+
+// bounced reports whether core's copy of the lock line is stale: some
+// other core acquired the lock recently (first acquisitions ever also
+// count — a cold fetch).
+func (l *SpinLock) bounced(core int, at sim.Time) bool {
+	if l.recent1.core == -1 {
+		return false // never held: creation-time cold miss is charged elsewhere
+	}
+	if l.recent1.core != core && l.recent1.at >= at-BounceHorizon {
+		return true
+	}
+	if l.recent2.core != -1 && l.recent2.core != core && l.recent2.at >= at-BounceHorizon {
+		return true
+	}
+	return false
+}
+
+func (l *SpinLock) noteAcquire(core int, at sim.Time) {
+	if l.recent1.core == core || l.recent1.core == -1 {
+		l.recent1.core = core
+		if at > l.recent1.at {
+			l.recent1.at = at
+		}
+		return
+	}
+	l.recent2 = l.recent1
+	l.recent1.core = core
+	l.recent1.at = at
+}
+
+// Release drops the lock. The release time is the context's current
+// virtual time, so the effective hold duration is whatever the holder
+// charged between Acquire and Release.
+func (l *SpinLock) Release(c Context) {
+	idx := -1
+	for i, h := range l.holds {
+		if h.c == c {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("lock: release of " + l.name + " by non-holder")
+	}
+	h := l.holds[idx]
+	l.holds = append(l.holds[:idx], l.holds[idx+1:]...)
+	now := c.Now()
+	dur := now - h.at
+	l.stats.HoldTime += dur
+	if l.avgHold == 0 {
+		l.avgHold = dur
+	} else {
+		l.avgHold += (dur - l.avgHold) / 8
+	}
+	l.insert(h.at, now)
+}
+
+// With runs fn while holding the lock.
+func (l *SpinLock) With(c Context, fn func()) {
+	l.Acquire(c)
+	fn()
+	l.Release(c)
+}
+
+// TryAcquire takes the lock only if the acquisition would not spin,
+// returning whether it succeeded. Used for trylock kernel paths.
+func (l *SpinLock) TryAcquire(c Context) bool {
+	if l.slotAt(c.Now()) > c.Now() {
+		return false
+	}
+	l.Acquire(c)
+	return true
+}
+
+// Sharded is a set of spinlocks indexed by hash, modelling the
+// finer-grained locking mainline Linux adopted between 2.6.32 and
+// 3.13 (per-bucket / per-superblock locks instead of one global
+// dcache_lock). Stats aggregate across all shards so lockstat output
+// still reports one line.
+type Sharded struct {
+	name   string
+	shards []*SpinLock
+}
+
+// NewSharded returns n spinlocks behind one name. n must be a power
+// of two.
+func NewSharded(name string, n int, bouncePenalty sim.Time) *Sharded {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("lock: shard count must be a positive power of two")
+	}
+	s := &Sharded{name: name, shards: make([]*SpinLock, n)}
+	for i := range s.shards {
+		s.shards[i] = New(name, bouncePenalty)
+	}
+	return s
+}
+
+// Shard returns the lock for the given hash key.
+func (s *Sharded) Shard(key uint64) *SpinLock {
+	return s.shards[key&uint64(len(s.shards)-1)]
+}
+
+// Name returns the lockstat name.
+func (s *Sharded) Name() string { return s.name }
+
+// Stats sums the counters across shards.
+func (s *Sharded) Stats() Stats {
+	var sum Stats
+	for _, l := range s.shards {
+		st := l.Stats()
+		sum.Acquisitions += st.Acquisitions
+		sum.Contended += st.Contended
+		sum.WaitTime += st.WaitTime
+		sum.HoldTime += st.HoldTime
+		sum.Bounces += st.Bounces
+	}
+	return sum
+}
+
+// ResetStats zeroes every shard's counters.
+func (s *Sharded) ResetStats() {
+	for _, l := range s.shards {
+		l.ResetStats()
+	}
+}

@@ -1,0 +1,238 @@
+// Package netproto defines the on-the-wire representation used by the
+// simulated stack: IPv4/TCP addressing, TCP segments with flags and
+// sequence numbers, the RSS flow hash NICs use to pick an RX queue,
+// and the minimal HTTP/1.0 codec the workload applications speak
+// (the paper's motivating workload: ~600-byte requests, ~1200-byte
+// responses, one packet each, connection closed after the exchange).
+package netproto
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address.
+type IP uint32
+
+// IPv4 builds an IP from dotted-quad components.
+func IPv4(a, b, c, d byte) IP {
+	return IP(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Port is a TCP port number.
+type Port uint16
+
+// WellKnownMax is the top of the well-known port range; RFD's
+// classification rules (paper §3.3) key off this boundary.
+const WellKnownMax Port = 1024
+
+// IsWellKnown reports whether p is in the well-known range (<1024).
+func (p Port) IsWellKnown() bool { return p < WellKnownMax }
+
+// Linux default ephemeral port range (ip_local_port_range).
+const (
+	EphemeralLow  Port = 32768
+	EphemeralHigh Port = 61000
+)
+
+// Addr is an IP:port endpoint.
+type Addr struct {
+	IP   IP
+	Port Port
+}
+
+// String renders "ip:port".
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// FourTuple identifies a TCP connection from the receiver's point of
+// view: Src is the remote endpoint, Dst the local one.
+type FourTuple struct {
+	Src, Dst Addr
+}
+
+// Reversed swaps the endpoints (the tuple as seen from the peer).
+func (ft FourTuple) Reversed() FourTuple { return FourTuple{Src: ft.Dst, Dst: ft.Src} }
+
+// Hash is a 64-bit mix of the tuple used for hash-table bucketing.
+func (ft FourTuple) Hash() uint64 {
+	h := uint64(ft.Src.IP)<<32 | uint64(ft.Dst.IP)
+	h ^= uint64(ft.Src.Port)<<48 | uint64(ft.Dst.Port)<<32 | uint64(ft.Src.Port)<<16 | uint64(ft.Dst.Port)
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Flags is a TCP flag bitmask.
+type Flags uint8
+
+// TCP segment flags.
+const (
+	SYN Flags = 1 << iota
+	ACK
+	FIN
+	RST
+	PSH
+)
+
+// Has reports whether all bits in f2 are set.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// String renders e.g. "SYN|ACK".
+func (f Flags) String() string {
+	var parts []string
+	for _, fl := range []struct {
+		bit  Flags
+		name string
+	}{{SYN, "SYN"}, {ACK, "ACK"}, {FIN, "FIN"}, {RST, "RST"}, {PSH, "PSH"}} {
+		if f.Has(fl.bit) {
+			parts = append(parts, fl.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "|")
+}
+
+// HeaderBytes is the IPv4+TCP header size we account for packet
+// processing costs (20 + 20, no options).
+const HeaderBytes = 40
+
+// Packet is one TCP/IPv4 segment in flight.
+type Packet struct {
+	Src, Dst Addr
+	Flags    Flags
+	Seq, Ack uint32
+	Payload  []byte
+}
+
+// Len returns the total wire length in bytes.
+func (p *Packet) Len() int { return HeaderBytes + len(p.Payload) }
+
+// Tuple returns the connection tuple from the receiver's perspective.
+func (p *Packet) Tuple() FourTuple {
+	return FourTuple{Src: p.Src, Dst: p.Dst}
+}
+
+// String renders a tcpdump-ish one-liner.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s > %s %s seq=%d ack=%d len=%d",
+		p.Src, p.Dst, p.Flags, p.Seq, p.Ack, len(p.Payload))
+}
+
+// RSSHash is the NIC's receive-side-scaling flow hash. Real 82599
+// hardware uses a Toeplitz hash over the 4-tuple; any uniform,
+// per-flow-stable function reproduces the behaviour that matters
+// (uniform spreading with no relation to where the consuming process
+// runs), so we use a strong 64-bit mix.
+func RSSHash(ft FourTuple) uint32 {
+	h := uint64(ft.Src.IP)*0x9e3779b97f4a7c15 + uint64(ft.Dst.IP)
+	h = (h ^ uint64(ft.Src.Port)<<16 ^ uint64(ft.Dst.Port)) * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h)
+}
+
+// --- Minimal HTTP/1.0 codec ---------------------------------------
+
+// Default workload message sizes from the paper's introduction: the
+// heavily invoked Weibo HTTP interface has ~600-byte requests and
+// ~1200-byte responses, each fitting a single packet.
+const (
+	DefaultRequestLen  = 600
+	DefaultResponseLen = 1200
+)
+
+// BuildRequest renders a GET request padded to exactly total bytes
+// (>= the unpadded size) via an X-Pad header.
+func BuildRequest(path string, total int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GET %s HTTP/1.0\r\nHost: bench.weibo.example\r\nUser-Agent: http_load 12mar2006\r\nConnection: close\r\n", path)
+	base := b.Len() + len("\r\n")
+	if pad := total - base - len("X-Pad: \r\n"); pad > 0 {
+		fmt.Fprintf(&b, "X-Pad: %s\r\n", strings.Repeat("x", pad))
+	}
+	b.WriteString("\r\n")
+	return []byte(b.String())
+}
+
+// ParseRequest extracts the method and path from a request. It
+// returns an error on malformed input.
+func ParseRequest(data []byte) (method, path string, err error) {
+	s := string(data)
+	eol := strings.Index(s, "\r\n")
+	if eol < 0 {
+		return "", "", fmt.Errorf("netproto: request without request line")
+	}
+	parts := strings.SplitN(s[:eol], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return "", "", fmt.Errorf("netproto: malformed request line %q", s[:eol])
+	}
+	if !strings.HasSuffix(s, "\r\n\r\n") {
+		return "", "", fmt.Errorf("netproto: request not terminated")
+	}
+	return parts[0], parts[1], nil
+}
+
+// BuildResponse renders a 200 response whose total length is exactly
+// total bytes, with a Content-Length-correct body.
+func BuildResponse(total int) []byte {
+	const headerFmt = "HTTP/1.0 200 OK\r\nServer: nginx/1.4\r\nContent-Type: text/html\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+	// Solve for the body size; Content-Length's digits change the
+	// header size, so iterate (converges immediately in practice).
+	body := total - len(fmt.Sprintf(headerFmt, 0))
+	for i := 0; i < 4; i++ {
+		header := fmt.Sprintf(headerFmt, body)
+		if len(header)+body == total || body <= 0 {
+			break
+		}
+		body = total - len(fmt.Sprintf(headerFmt, body))
+	}
+	if body < 0 {
+		body = 0
+	}
+	return []byte(fmt.Sprintf(headerFmt, body) + strings.Repeat("b", body))
+}
+
+// ParseResponse extracts the status code and body length, validating
+// Content-Length against the actual body.
+func ParseResponse(data []byte) (status int, bodyLen int, err error) {
+	s := string(data)
+	headEnd := strings.Index(s, "\r\n\r\n")
+	if headEnd < 0 {
+		return 0, 0, fmt.Errorf("netproto: response without header terminator")
+	}
+	lines := strings.Split(s[:headEnd], "\r\n")
+	first := strings.SplitN(lines[0], " ", 3)
+	if len(first) < 2 || !strings.HasPrefix(first[0], "HTTP/") {
+		return 0, 0, fmt.Errorf("netproto: malformed status line %q", lines[0])
+	}
+	status, err = strconv.Atoi(first[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("netproto: bad status code: %v", err)
+	}
+	body := s[headEnd+4:]
+	for _, ln := range lines[1:] {
+		if v, ok := strings.CutPrefix(ln, "Content-Length: "); ok {
+			want, err := strconv.Atoi(v)
+			if err != nil {
+				return 0, 0, fmt.Errorf("netproto: bad Content-Length: %v", err)
+			}
+			if want != len(body) {
+				return 0, 0, fmt.Errorf("netproto: Content-Length %d != body %d", want, len(body))
+			}
+		}
+	}
+	return status, len(body), nil
+}

@@ -1,0 +1,169 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format: the simulation normally passes *Packet values by
+// pointer, but Marshal/Unmarshal render genuine IPv4+TCP headers
+// (with real Internet checksums) for trace dumps, golden files, and
+// interoperability tests. No options are emitted: 20-byte IPv4 header
+// + 20-byte TCP header, as the simulated stack assumes (HeaderBytes).
+
+const (
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	protoTCP      = 6
+	defaultTTL    = 64
+	defaultWindow = 65535
+)
+
+// checksum is the Internet checksum (RFC 1071) over data, with an
+// optional initial partial sum.
+func checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoSum computes the TCP pseudo-header partial sum.
+func pseudoSum(src, dst IP, tcpLen int) uint32 {
+	var sum uint32
+	sum += uint32(src >> 16)
+	sum += uint32(src & 0xffff)
+	sum += uint32(dst >> 16)
+	sum += uint32(dst & 0xffff)
+	sum += protoTCP
+	sum += uint32(tcpLen)
+	return sum
+}
+
+// flagBits maps Flags to the TCP header flag byte.
+func flagBits(f Flags) byte {
+	var b byte
+	if f.Has(FIN) {
+		b |= 0x01
+	}
+	if f.Has(SYN) {
+		b |= 0x02
+	}
+	if f.Has(RST) {
+		b |= 0x04
+	}
+	if f.Has(PSH) {
+		b |= 0x08
+	}
+	if f.Has(ACK) {
+		b |= 0x10
+	}
+	return b
+}
+
+func bitsFlags(b byte) Flags {
+	var f Flags
+	if b&0x01 != 0 {
+		f |= FIN
+	}
+	if b&0x02 != 0 {
+		f |= SYN
+	}
+	if b&0x04 != 0 {
+		f |= RST
+	}
+	if b&0x08 != 0 {
+		f |= PSH
+	}
+	if b&0x10 != 0 {
+		f |= ACK
+	}
+	return f
+}
+
+// Marshal renders the packet as an IPv4+TCP datagram with valid
+// header and TCP checksums.
+func (p *Packet) Marshal() []byte {
+	total := ipv4HeaderLen + tcpHeaderLen + len(p.Payload)
+	buf := make([]byte, total)
+
+	// IPv4 header.
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:], uint16(total))
+	buf[8] = defaultTTL
+	buf[9] = protoTCP
+	binary.BigEndian.PutUint32(buf[12:], uint32(p.Src.IP))
+	binary.BigEndian.PutUint32(buf[16:], uint32(p.Dst.IP))
+	binary.BigEndian.PutUint16(buf[10:], 0)
+	binary.BigEndian.PutUint16(buf[10:], checksum(buf[:ipv4HeaderLen], 0))
+
+	// TCP header.
+	tcp := buf[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:], uint16(p.Src.Port))
+	binary.BigEndian.PutUint16(tcp[2:], uint16(p.Dst.Port))
+	binary.BigEndian.PutUint32(tcp[4:], p.Seq)
+	binary.BigEndian.PutUint32(tcp[8:], p.Ack)
+	tcp[12] = (tcpHeaderLen / 4) << 4 // data offset
+	tcp[13] = flagBits(p.Flags)
+	binary.BigEndian.PutUint16(tcp[14:], defaultWindow)
+	copy(tcp[tcpHeaderLen:], p.Payload)
+	binary.BigEndian.PutUint16(tcp[16:], 0)
+	tcpLen := tcpHeaderLen + len(p.Payload)
+	binary.BigEndian.PutUint16(tcp[16:], checksum(tcp[:tcpLen], pseudoSum(p.Src.IP, p.Dst.IP, tcpLen)))
+
+	return buf
+}
+
+// Unmarshal parses an IPv4+TCP datagram produced by Marshal (or any
+// option-less IPv4/TCP packet), validating both checksums.
+func Unmarshal(data []byte) (*Packet, error) {
+	if len(data) < ipv4HeaderLen+tcpHeaderLen {
+		return nil, fmt.Errorf("netproto: datagram too short (%d bytes)", len(data))
+	}
+	if data[0]>>4 != 4 {
+		return nil, fmt.Errorf("netproto: not IPv4 (version %d)", data[0]>>4)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(data) < ihl+tcpHeaderLen {
+		return nil, fmt.Errorf("netproto: bad IHL %d", ihl)
+	}
+	if data[9] != protoTCP {
+		return nil, fmt.Errorf("netproto: not TCP (proto %d)", data[9])
+	}
+	if checksum(data[:ihl], 0) != 0 {
+		return nil, fmt.Errorf("netproto: IPv4 header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(data[2:]))
+	if total > len(data) || total < ihl+tcpHeaderLen {
+		return nil, fmt.Errorf("netproto: bad total length %d", total)
+	}
+	src := IP(binary.BigEndian.Uint32(data[12:]))
+	dst := IP(binary.BigEndian.Uint32(data[16:]))
+
+	tcp := data[ihl:total]
+	off := int(tcp[12]>>4) * 4
+	if off < tcpHeaderLen || off > len(tcp) {
+		return nil, fmt.Errorf("netproto: bad TCP data offset %d", off)
+	}
+	if checksum(tcp, pseudoSum(src, dst, len(tcp))) != 0 {
+		return nil, fmt.Errorf("netproto: TCP checksum mismatch")
+	}
+	p := &Packet{
+		Src:   Addr{IP: src, Port: Port(binary.BigEndian.Uint16(tcp[0:]))},
+		Dst:   Addr{IP: dst, Port: Port(binary.BigEndian.Uint16(tcp[2:]))},
+		Seq:   binary.BigEndian.Uint32(tcp[4:]),
+		Ack:   binary.BigEndian.Uint32(tcp[8:]),
+		Flags: bitsFlags(tcp[13]),
+	}
+	if off < len(tcp) {
+		p.Payload = append([]byte(nil), tcp[off:]...)
+	}
+	return p, nil
+}

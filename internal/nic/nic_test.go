@@ -1,0 +1,192 @@
+package nic
+
+import (
+	"testing"
+
+	"fastsocket/internal/netproto"
+)
+
+func flow(i int) netproto.FourTuple {
+	return netproto.FourTuple{
+		Src: netproto.Addr{IP: netproto.IPv4(10, 0, byte(i>>8), byte(i)), Port: netproto.Port(32768 + i%20000)},
+		Dst: netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80},
+	}
+}
+
+func pktFor(ft netproto.FourTuple) *netproto.Packet {
+	return &netproto.Packet{Src: ft.Src, Dst: ft.Dst, Flags: netproto.ACK}
+}
+
+func TestRSSStablePerFlow(t *testing.T) {
+	n := New(Config{Queues: 16})
+	ft := flow(1)
+	q := n.SteerRX(pktFor(ft))
+	for i := 0; i < 10; i++ {
+		if got := n.SteerRX(pktFor(ft)); got != q {
+			t.Fatalf("RSS moved flow from queue %d to %d", q, got)
+		}
+	}
+}
+
+func TestRSSUniform(t *testing.T) {
+	n := New(Config{Queues: 8})
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[n.SteerRX(pktFor(flow(i)))]++
+	}
+	for q, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("queue %d got %d/8000 flows", q, c)
+		}
+	}
+}
+
+func TestATRLearnsFromTX(t *testing.T) {
+	n := New(Config{Queues: 8, Mode: FDirATR, ATRSampleRate: 1, ATRTableSize: 1024})
+	ft := flow(42)
+	// Server transmits on queue 5 for the reversed flow direction.
+	out := &netproto.Packet{Src: ft.Dst, Dst: ft.Src, Flags: netproto.SYN | netproto.ACK}
+	n.ObserveTX(out, 5)
+	if got := n.SteerRX(pktFor(ft)); got != 5 {
+		t.Errorf("post-sample steering = queue %d, want 5", got)
+	}
+	if n.Stats().ATRSteered != 1 {
+		t.Errorf("ATRSteered = %d, want 1", n.Stats().ATRSteered)
+	}
+}
+
+func TestATRSampleRate(t *testing.T) {
+	n := New(Config{Queues: 4, Mode: FDirATR, ATRSampleRate: 20, ATRTableSize: 1024})
+	ft := flow(7)
+	out := &netproto.Packet{Src: ft.Dst, Dst: ft.Src}
+	// 19 transmissions: no sample taken yet.
+	for i := 0; i < 19; i++ {
+		n.ObserveTX(out, 2)
+	}
+	if n.Stats().ATRSamples != 0 {
+		t.Fatalf("sampled after %d packets with rate 20", 19)
+	}
+	n.ObserveTX(out, 2)
+	if n.Stats().ATRSamples != 1 {
+		t.Errorf("ATRSamples = %d after 20 TX, want 1", n.Stats().ATRSamples)
+	}
+}
+
+func TestATRCollisionEvicts(t *testing.T) {
+	// A 1-slot table forces every new sampled flow to evict the
+	// previous one — the mechanism behind <100% ATR locality.
+	n := New(Config{Queues: 8, Mode: FDirATR, ATRSampleRate: 1, ATRTableSize: 1})
+	a, b := flow(1), flow(2)
+	n.ObserveTX(&netproto.Packet{Src: a.Dst, Dst: a.Src}, 3)
+	if got := n.SteerRX(pktFor(a)); got != 3 {
+		t.Fatalf("flow a steered to %d, want 3", got)
+	}
+	n.ObserveTX(&netproto.Packet{Src: b.Dst, Dst: b.Src}, 6)
+	if n.Stats().ATREvicts != 1 {
+		t.Errorf("ATREvicts = %d, want 1", n.Stats().ATREvicts)
+	}
+	// Flow a falls back to RSS now.
+	rssOnly := New(Config{Queues: 8})
+	if got := n.SteerRX(pktFor(a)); got != rssOnly.SteerRX(pktFor(a)) {
+		t.Errorf("evicted flow steered to %d, want RSS fallback", got)
+	}
+}
+
+func TestATRDisabledOutsideATRMode(t *testing.T) {
+	n := New(Config{Queues: 8, Mode: RSS, ATRSampleRate: 1})
+	ft := flow(9)
+	n.ObserveTX(&netproto.Packet{Src: ft.Dst, Dst: ft.Src}, 1)
+	if n.Stats().ATRSamples != 0 {
+		t.Error("RSS-mode NIC sampled into ATR table")
+	}
+}
+
+func TestPerfectFilterPrecedence(t *testing.T) {
+	n := New(Config{Queues: 8, Mode: FDirPerfect})
+	n.SetPerfectFilter(func(p *netproto.Packet) (int, bool) {
+		if p.Dst.Port >= 32768 { // active incoming only
+			return int(p.Dst.Port) & 7, true
+		}
+		return 0, false
+	})
+	// Active incoming packet: filter decides.
+	ft := netproto.FourTuple{
+		Src: netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80},
+		Dst: netproto.Addr{IP: netproto.IPv4(10, 0, 0, 1), Port: 32771},
+	}
+	if got := n.SteerRX(pktFor(ft)); got != 3 {
+		t.Errorf("perfect filter steered to %d, want 3", got)
+	}
+	if n.Stats().PerfectHits != 1 {
+		t.Errorf("PerfectHits = %d", n.Stats().PerfectHits)
+	}
+	// Passive incoming packet (dst port 80): falls back to RSS.
+	pf := flow(3)
+	before := n.Stats().RSSSteered
+	n.SteerRX(pktFor(pf))
+	if n.Stats().RSSSteered != before+1 {
+		t.Error("non-matching packet did not fall back to RSS")
+	}
+}
+
+func TestPerfectFilterIgnoredInRSSMode(t *testing.T) {
+	n := New(Config{Queues: 8, Mode: RSS})
+	n.SetPerfectFilter(func(p *netproto.Packet) (int, bool) { return 7, true })
+	if n.Stats().PerfectHits != 0 {
+		t.Fatal("unexpected hits")
+	}
+	n.SteerRX(pktFor(flow(1)))
+	if n.Stats().PerfectHits != 0 {
+		t.Error("perfect filter consulted in RSS mode")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{RSS: "RSS", FDirATR: "FDir_ATR", FDirPerfect: "FDir_Perfect", Mode(9): "Mode(9)"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero queues":   {Queues: 0},
+		"bad ATR table": {Queues: 4, ATRTableSize: 1000},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	n := New(Config{Queues: 2})
+	if len(n.atr) != DefaultATRTableSize {
+		t.Errorf("ATR table size = %d, want default %d", len(n.atr), DefaultATRTableSize)
+	}
+	if n.cfg.ATRSampleRate != DefaultATRSampleRate {
+		t.Errorf("sample rate = %d, want default %d", n.cfg.ATRSampleRate, DefaultATRSampleRate)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	n := New(Config{Queues: 4})
+	for i := 0; i < 10; i++ {
+		n.SteerRX(pktFor(flow(i)))
+	}
+	st := n.Stats()
+	if st.RXPackets != 10 || st.RSSSteered != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	n.ResetStats()
+	if n.Stats().RXPackets != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+// Rand is a small, fast, deterministic PRNG (xoshiro256** seeded via
+// splitmix64). Experiments seed it explicitly so every run is
+// bit-reproducible; math/rand is avoided so the simulation cannot be
+// perturbed by global seeding elsewhere.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from the given seed.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	// splitmix64 to spread the seed across the state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint32 returns the next 32 random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Duration returns a uniform simulated duration in [lo, hi].
+func (r *Rand) Duration(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(r.Uint64()%uint64(hi-lo+1))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Exp returns an exponentially distributed duration with the given
+// mean, truncated to 10x the mean so one pathological sample cannot
+// stall a closed-loop workload.
+func (r *Rand) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	// Inverse transform sampling; ln via the identity ln(u) for
+	// u in (0,1]. Avoid u == 0.
+	u := r.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	d := Time(-float64(mean) * ln(u))
+	if d > 10*mean {
+		d = 10 * mean
+	}
+	return d
+}
+
+// ln is a minimal natural-log good to ~1e-9 for u in (0, 1], using
+// range reduction to [1/sqrt2, sqrt2) and an atanh series. Implemented
+// locally to keep the package dependency-free (math would be fine too;
+// this keeps the PRNG self-contained and allocation-free).
+func ln(u float64) float64 {
+	if u <= 0 {
+		return -27.6 // ~ln(1e-12)
+	}
+	// Normalize u = m * 2^k with m in [1, 2).
+	k := 0
+	for u < 1 {
+		u *= 2
+		k--
+	}
+	for u >= 2 {
+		u /= 2
+		k++
+	}
+	// ln(u) = ln(m) + k*ln2; ln(m) via atanh series around 1.
+	z := (u - 1) / (u + 1)
+	z2 := z * z
+	s := z
+	term := z
+	for i := 3; i < 30; i += 2 {
+		term *= z2
+		s += term / float64(i)
+	}
+	const ln2 = 0.6931471805599453
+	return 2*s + float64(k)*ln2
+}

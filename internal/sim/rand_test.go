@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a := NewRand(1)
+	b := NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(7)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRand(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRand(5)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit rate = %v", p)
+	}
+}
+
+func TestDurationRange(t *testing.T) {
+	r := NewRand(13)
+	for i := 0; i < 1000; i++ {
+		d := r.Duration(100, 200)
+		if d < 100 || d > 200 {
+			t.Fatalf("Duration(100,200) = %v", d)
+		}
+	}
+	if d := r.Duration(50, 50); d != 50 {
+		t.Errorf("Duration(50,50) = %v, want 50", d)
+	}
+	if d := r.Duration(60, 40); d != 60 {
+		t.Errorf("Duration with hi<lo = %v, want lo", d)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRand(17)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(19)
+	var sum Time
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(1000)
+	}
+	mean := float64(sum) / n
+	// Truncation at 10x mean shaves ~0.5% off the true mean.
+	if mean < 900 || mean > 1100 {
+		t.Errorf("Exp(1000) mean = %v, want ~1000", mean)
+	}
+}
+
+func TestExpNonNegative(t *testing.T) {
+	r := NewRand(23)
+	for i := 0; i < 10000; i++ {
+		if d := r.Exp(500); d < 0 || d > 5000 {
+			t.Fatalf("Exp(500) = %v out of [0, 5000]", d)
+		}
+	}
+	if r.Exp(0) != 0 {
+		t.Error("Exp(0) != 0")
+	}
+}
+
+func TestLnAccuracy(t *testing.T) {
+	for _, u := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9999, 1.0} {
+		got := ln(u)
+		want := math.Log(u)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("ln(%v) = %v, want %v", u, got, want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package sim provides the discrete-event simulation engine underneath
+// the Fastsocket reproduction: a simulated clock, an event heap with
+// cancellation, and a deterministic pseudo-random number generator.
+//
+// All simulation state transitions happen inside a single-threaded
+// event loop, so no locking is required anywhere in the simulated
+// kernel; the "spinlocks" in internal/lock are models of contention,
+// not real synchronization primitives.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation
+// start. It is deliberately distinct from time.Duration so that real
+// and simulated time cannot be mixed by accident.
+type Time int64
+
+// Convenient simulated-duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time with an adaptive unit, e.g. "12.5us".
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds converts a simulated time span to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. Events are created by Loop.At/After
+// and may be cancelled before they fire.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once popped or cancelled
+	cancelled bool
+}
+
+// At returns the simulated time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel has been called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is a discrete-event loop. The zero value is not usable; call
+// NewLoop.
+type Loop struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Fired counts events executed, for diagnostics and budget caps.
+	fired uint64
+}
+
+// NewLoop returns an event loop with the clock at zero.
+func NewLoop() *Loop {
+	return &Loop{}
+}
+
+// Now returns the current simulated time.
+func (l *Loop) Now() Time { return l.now }
+
+// Fired returns the number of events executed so far.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// Pending returns the number of scheduled (possibly cancelled but not
+// yet reaped) events.
+func (l *Loop) Pending() int { return len(l.events) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in
+// the past (t < Now) panics: it would silently reorder causality.
+func (l *Loop) At(t Time, fn func()) *Event {
+	if t < l.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
+	}
+	l.seq++
+	e := &Event{at: t, seq: l.seq, fn: fn}
+	heap.Push(&l.events, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (l *Loop) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return l.At(l.now+d, fn)
+}
+
+// Step executes the next event, advancing the clock. It returns false
+// when no events remain.
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		e := heap.Pop(&l.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		l.now = e.at
+		l.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain or Stop is called.
+func (l *Loop) Run() {
+	l.stopped = false
+	for !l.stopped && l.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock
+// to exactly t. Events scheduled after t remain pending.
+func (l *Loop) RunUntil(t Time) {
+	l.stopped = false
+	for !l.stopped {
+		if len(l.events) == 0 {
+			break
+		}
+		// Peek.
+		next := l.events[0]
+		if next.cancelled {
+			heap.Pop(&l.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		l.Step()
+	}
+	if l.now < t {
+		l.now = t
+	}
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (l *Loop) Stop() { l.stopped = true }

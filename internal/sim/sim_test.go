@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoopOrdering(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	l.At(30, func() { got = append(got, 3) })
+	l.At(10, func() { got = append(got, 1) })
+	l.At(20, func() { got = append(got, 2) })
+	l.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if l.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", l.Now())
+	}
+}
+
+func TestLoopFIFOAtSameTime(t *testing.T) {
+	// Events at identical timestamps fire in scheduling order.
+	l := NewLoop()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(5, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestLoopAfter(t *testing.T) {
+	l := NewLoop()
+	var at Time
+	l.At(100, func() {
+		l.After(50, func() { at = l.Now() })
+	})
+	l.Run()
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestLoopCancel(t *testing.T) {
+	l := NewLoop()
+	fired := false
+	e := l.At(10, func() { fired = true })
+	e.Cancel()
+	l.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestLoopSchedulePastPanics(t *testing.T) {
+	l := NewLoop()
+	l.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		l.At(50, func() {})
+	})
+	l.Run()
+}
+
+func TestLoopNegativeDelayPanics(t *testing.T) {
+	l := NewLoop()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	l.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	l := NewLoop()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		l.At(at, func() { fired = append(fired, at) })
+	}
+	l.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if l.Now() != 25 {
+		t.Errorf("Now() = %v, want 25", l.Now())
+	}
+	l.RunUntil(100)
+	if len(fired) != 4 {
+		t.Errorf("fired %d events total, want 4", len(fired))
+	}
+	if l.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", l.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	l := NewLoop()
+	e := l.At(10, func() { t.Error("cancelled event fired") })
+	e.Cancel()
+	ok := false
+	l.At(20, func() { ok = true })
+	l.RunUntil(30)
+	if !ok {
+		t.Error("live event after cancelled one did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	l := NewLoop()
+	n := 0
+	for i := Time(1); i <= 10; i++ {
+		l.At(i, func() {
+			n++
+			if n == 3 {
+				l.Stop()
+			}
+		})
+	}
+	l.Run()
+	if n != 3 {
+		t.Errorf("executed %d events after Stop at 3", n)
+	}
+	// Run resumes.
+	l.Run()
+	if n != 10 {
+		t.Errorf("executed %d events after resume, want 10", n)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if s := (250 * Millisecond).Seconds(); s != 0.25 {
+		t.Errorf("Seconds() = %v, want 0.25", s)
+	}
+}
+
+func TestEventsMonotonic(t *testing.T) {
+	// Property: regardless of insertion order, events fire in
+	// non-decreasing time order.
+	f := func(delays []uint16) bool {
+		l := NewLoop()
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d)
+			l.At(at, func() { fired = append(fired, at) })
+		}
+		l.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

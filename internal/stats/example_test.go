@@ -1,0 +1,25 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"fastsocket/internal/sim"
+	"fastsocket/internal/stats"
+)
+
+// Histograms summarize latencies with constant memory.
+func ExampleHistogram() {
+	h := stats.NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i) * sim.Millisecond)
+	}
+	fmt.Println(h.Count(), h.Mean())
+	// Output: 100 50.5ms
+}
+
+// Box plots are how Figure 3 reports per-core utilization spread.
+func ExampleBoxOf() {
+	b := stats.BoxOf([]float64{0.32, 0.35, 0.34, 0.37, 0.33})
+	fmt.Printf("median %.2f spread %.2f\n", b.Median, b.Spread())
+	// Output: median 0.34 spread 0.05
+}

@@ -1,0 +1,193 @@
+// Package stats provides the measurement utilities the experiments
+// report with: latency histograms with percentiles, and the box-plot
+// summaries the paper's Figure 3 uses for per-core CPU utilization.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"fastsocket/internal/sim"
+)
+
+// histSubsteps linear sub-buckets per octave give ~6% resolution
+// (+-3%) above the linear range.
+const histSubsteps = 16
+
+// histBuckets: 64 linear 1us buckets plus 28 octaves of substeps
+// (64us .. ~4.8h).
+const histBuckets = 64 + 28*histSubsteps
+
+// Histogram is a log-bucketed latency histogram (1us resolution at
+// the low end, ~6% resolution overall), constant memory.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     sim.Time
+	min     sim.Time
+	max     sim.Time
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: 1<<63 - 1}
+}
+
+// bucketOf maps a duration to a bucket: 64 linear 1us buckets, then
+// log2 octaves with histSubsteps linear sub-steps each.
+func bucketOf(d sim.Time) int {
+	us := int64(d / sim.Microsecond)
+	if us < 64 {
+		return int(us)
+	}
+	b := 64
+	lo := int64(64)
+	for lo<<1 <= us && b+histSubsteps < histBuckets {
+		lo <<= 1
+		b += histSubsteps
+	}
+	step := lo / histSubsteps
+	if step == 0 {
+		step = 1
+	}
+	idx := b + int((us-lo)/step)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound of a bucket, inverse of bucketOf.
+func bucketLow(idx int) sim.Time {
+	if idx < 64 {
+		return sim.Time(idx) * sim.Microsecond
+	}
+	lo := int64(64)
+	b := 64
+	for b+histSubsteps <= idx {
+		lo <<= 1
+		b += histSubsteps
+	}
+	step := lo / histSubsteps
+	return sim.Time(lo+int64(idx-b)*step) * sim.Microsecond
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Min and Max return the extreme samples (0 when empty).
+func (h *Histogram) Min() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns the approximate p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > target {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// String renders a one-line summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p99.9=%v max=%v",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.Percentile(99.9), h.Max())
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = *NewHistogram() }
+
+// --- Box plot ---------------------------------------------------------
+
+// Box is a five-number summary (the paper's Figure 3 box plots).
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+}
+
+// BoxOf summarizes a sample set. It panics on empty input.
+func BoxOf(xs []float64) Box {
+	if len(xs) == 0 {
+		panic("stats: BoxOf of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		// Linear interpolation between closest ranks.
+		pos := p * float64(len(s)-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(s) {
+			return s[len(s)-1]
+		}
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return Box{
+		Min:    s[0],
+		Q1:     q(0.25),
+		Median: q(0.5),
+		Q3:     q(0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+// Spread returns Max - Min.
+func (b Box) Spread() float64 { return b.Max - b.Min }
+
+// String renders "min/q1/med/q3/max".
+func (b Box) String() string {
+	return fmt.Sprintf("min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean)
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fastsocket/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+	if h.Percentile(99) != 0 {
+		t.Error("empty percentile not zero")
+	}
+	h.Add(10 * sim.Microsecond)
+	h.Add(20 * sim.Microsecond)
+	h.Add(30 * sim.Microsecond)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 20*sim.Microsecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10*sim.Microsecond || h.Max() != 30*sim.Microsecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-5)
+	if h.Min() != 0 {
+		t.Errorf("negative sample not clamped: %v", h.Min())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..100 microseconds, uniformly.
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i) * sim.Microsecond)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40*sim.Microsecond || p50 > 60*sim.Microsecond {
+		t.Errorf("p50 = %v, want ~50us", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 90*sim.Microsecond {
+		t.Errorf("p99 = %v, want >= 90us", p99)
+	}
+	if h.Percentile(100) > h.Max() {
+		t.Error("p100 above max")
+	}
+}
+
+func TestHistogramLogBucketsMonotonic(t *testing.T) {
+	// Property: bucketLow is the inverse lower bound of bucketOf, and
+	// buckets are monotonically ordered.
+	f := func(us uint32) bool {
+		d := sim.Time(us%100_000_000) * sim.Microsecond
+		idx := bucketOf(d)
+		lo := bucketLow(idx)
+		if lo > d {
+			return false
+		}
+		if idx < histBuckets-1 {
+			hi := bucketLow(idx + 1)
+			if hi <= lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramAccuracyWithin5Pct(t *testing.T) {
+	h := NewHistogram()
+	var exact []float64
+	rng := sim.NewRand(5)
+	for i := 0; i < 50000; i++ {
+		d := rng.Exp(2 * sim.Millisecond)
+		h.Add(d)
+		exact = append(exact, float64(d))
+	}
+	sort.Float64s(exact)
+	for _, p := range []float64{50, 90, 99} {
+		want := exact[int(p/100*float64(len(exact)))]
+		got := float64(h.Percentile(p))
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("p%v = %v, exact %v (>10%% off)", p, got, want)
+		}
+	}
+}
+
+func TestHistogramResetAndString(t *testing.T) {
+	h := NewHistogram()
+	h.Add(sim.Millisecond)
+	if h.String() == "" {
+		t.Error("empty String()")
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	b := BoxOf([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Mean != 3 {
+		t.Errorf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Errorf("quartiles = %v/%v", b.Q1, b.Q3)
+	}
+	if b.Spread() != 4 {
+		t.Errorf("Spread = %v", b.Spread())
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBoxOfSingle(t *testing.T) {
+	b := BoxOf([]float64{7})
+	if b.Min != 7 || b.Max != 7 || b.Median != 7 {
+		t.Errorf("box = %+v", b)
+	}
+}
+
+func TestBoxOfUnsortedInputPreserved(t *testing.T) {
+	in := []float64{5, 1, 3}
+	BoxOf(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Error("BoxOf mutated its input")
+	}
+}
+
+func TestBoxOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BoxOf(nil) did not panic")
+		}
+	}()
+	BoxOf(nil)
+}
+
+func TestBoxQuantileInterpolation(t *testing.T) {
+	b := BoxOf([]float64{0, 10})
+	if b.Median != 5 {
+		t.Errorf("median of {0,10} = %v, want 5", b.Median)
+	}
+	if b.Q1 != 2.5 || b.Q3 != 7.5 {
+		t.Errorf("quartiles = %v/%v", b.Q1, b.Q3)
+	}
+}

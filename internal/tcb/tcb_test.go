@@ -1,0 +1,320 @@
+package tcb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastsocket/internal/cache"
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/lock"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/tcp"
+)
+
+func mkTask(t *testing.T) *cpu.Task {
+	loop := sim.NewLoop()
+	m := cpu.NewMachine(loop, 1)
+	var task *cpu.Task
+	m.Core(0).Submit(func(tk *cpu.Task) { task = tk })
+	loop.Run()
+	if task == nil {
+		t.Fatal("no task")
+	}
+	return task
+}
+
+func mkSock(i int) *tcp.Sock {
+	sk := tcp.NewSock(tcp.DefaultParams(), 0)
+	sk.Local = netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80}
+	sk.Remote = netproto.Addr{IP: netproto.IPv4(10, 0, byte(i>>8), byte(i)), Port: netproto.Port(32768 + i%20000)}
+	sk.State = tcp.Established
+	return sk
+}
+
+func TestEstablishedInsertLookupRemove(t *testing.T) {
+	task := mkTask(t)
+	e := NewEstablished(256, nil, Costs{})
+	sk := mkSock(1)
+	e.Insert(task, sk)
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	got := e.Lookup(task, sk.Tuple())
+	if got != sk {
+		t.Fatal("Lookup did not find inserted socket")
+	}
+	if !e.Remove(task, sk) {
+		t.Fatal("Remove failed")
+	}
+	if e.Lookup(task, sk.Tuple()) != nil {
+		t.Error("Lookup found removed socket")
+	}
+	if e.Remove(task, sk) {
+		t.Error("double Remove succeeded")
+	}
+	st := e.Stats()
+	if st.Inserts != 1 || st.Removes != 1 || st.Lookups != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEstablishedManySockets(t *testing.T) {
+	task := mkTask(t)
+	e := NewEstablished(64, nil, Costs{})
+	socks := make([]*tcp.Sock, 500)
+	for i := range socks {
+		socks[i] = mkSock(i)
+		e.Insert(task, socks[i])
+	}
+	if e.Len() != 500 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	for i, sk := range socks {
+		if e.Lookup(task, sk.Tuple()) != sk {
+			t.Fatalf("socket %d lost in table", i)
+		}
+	}
+	n := 0
+	e.ForEach(func(*tcp.Sock) { n++ })
+	if n != 500 {
+		t.Errorf("ForEach visited %d", n)
+	}
+}
+
+func TestEstablishedLockedWriters(t *testing.T) {
+	task := mkTask(t)
+	locks := lock.NewSharded("ehash.lock", 16, 0)
+	e := NewEstablished(256, locks, Costs{})
+	sk := mkSock(7)
+	e.Insert(task, sk)
+	e.Remove(task, sk)
+	if got := locks.Stats().Acquisitions; got != 2 {
+		t.Errorf("ehash lock acquisitions = %d, want 2 (insert+remove)", got)
+	}
+	// Lookups are lock-free.
+	e.Lookup(task, sk.Tuple())
+	if got := locks.Stats().Acquisitions; got != 2 {
+		t.Errorf("lookup acquired the bucket lock (%d acquisitions)", got)
+	}
+}
+
+func TestEstablishedChargesCosts(t *testing.T) {
+	loop := sim.NewLoop()
+	m := cpu.NewMachine(loop, 1)
+	e := NewEstablished(4, nil, Costs{Hash: 10, Compare: 5, Link: 20})
+	sk := mkSock(1)
+	var charged sim.Time
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		start := tk.Now()
+		e.Insert(tk, sk) // hash + link = 30
+		e.Lookup(tk, sk.Tuple())
+		charged = tk.Now() - start
+	})
+	loop.Run()
+	// Insert 30; lookup: hash 10 + >=1 compare 5 = >=15.
+	if charged < 45 {
+		t.Errorf("charged %v, want >= 45", charged)
+	}
+}
+
+func TestEstablishedBadBucketsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEstablished(100) did not panic")
+		}
+	}()
+	NewEstablished(100, nil, Costs{})
+}
+
+func TestEstablishedPartitionInvariant(t *testing.T) {
+	// Property: any set of inserts followed by lookups finds exactly
+	// the inserted sockets (no tuple aliasing between distinct
+	// remotes).
+	f := func(ids []uint16) bool {
+		task := mkTask(t)
+		e := NewEstablished(64, nil, Costs{})
+		seen := map[netproto.FourTuple]*tcp.Sock{}
+		for _, id := range ids {
+			sk := mkSock(int(id))
+			if _, dup := seen[sk.Tuple()]; dup {
+				continue
+			}
+			seen[sk.Tuple()] = sk
+			e.Insert(task, sk)
+		}
+		for ft, sk := range seen {
+			if e.Lookup(task, ft) != sk {
+				return false
+			}
+		}
+		return e.Len() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkListen(port netproto.Port) *tcp.Sock {
+	sk := tcp.NewSock(tcp.DefaultParams(), 0)
+	sk.Local = netproto.Addr{IP: 0, Port: port} // wildcard bind
+	sk.State = tcp.Listen
+	return sk
+}
+
+func TestListenSingleSocket(t *testing.T) {
+	task := mkTask(t)
+	lt := NewListen(Costs{}, nil)
+	sk := mkListen(80)
+	lt.Insert(task, sk)
+	got := lt.Lookup(task, netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80}, 12345, false)
+	if got != sk {
+		t.Fatal("listen lookup failed")
+	}
+	if lt.Lookup(task, netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 81}, 0, false) != nil {
+		t.Error("lookup on unbound port matched")
+	}
+}
+
+func TestListenSpecificIPPreferredOverWildcardMiss(t *testing.T) {
+	task := mkTask(t)
+	lt := NewListen(Costs{}, nil)
+	sk := tcp.NewSock(tcp.DefaultParams(), 0)
+	sk.Local = netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80}
+	sk.State = tcp.Listen
+	lt.Insert(task, sk)
+	// Exact IP matches.
+	if lt.Lookup(task, sk.Local, 0, false) != sk {
+		t.Error("exact-IP listen lookup failed")
+	}
+	// Different IP does not.
+	if lt.Lookup(task, netproto.Addr{IP: netproto.IPv4(10, 1, 0, 2), Port: 80}, 0, false) != nil {
+		t.Error("lookup matched listen socket bound to another IP")
+	}
+}
+
+func TestListenIgnoresNonListenState(t *testing.T) {
+	task := mkTask(t)
+	lt := NewListen(Costs{}, nil)
+	sk := mkListen(80)
+	sk.State = tcp.Closed // process died, socket destroyed
+	lt.Insert(task, sk)
+	if lt.Lookup(task, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80}, 0, false) != nil {
+		t.Error("matched a dead listen socket")
+	}
+}
+
+func TestReuseportSelectsByFlowHash(t *testing.T) {
+	task := mkTask(t)
+	lt := NewListen(Costs{}, nil)
+	copies := make([]*tcp.Sock, 8)
+	for i := range copies {
+		copies[i] = mkListen(80)
+		lt.Insert(task, copies[i])
+	}
+	local := netproto.Addr{IP: netproto.IPv4(10, 1, 0, 1), Port: 80}
+	// Stable: same flow hash -> same copy.
+	a := lt.Lookup(task, local, 42, true)
+	b := lt.Lookup(task, local, 42, true)
+	if a != b {
+		t.Error("reuseport selection not stable for a flow")
+	}
+	// Spreads: different hashes hit different copies.
+	seen := map[*tcp.Sock]bool{}
+	for h := uint32(0); h < 64; h++ {
+		seen[lt.Lookup(task, local, h, true)] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("reuseport spread over %d/8 copies", len(seen))
+	}
+}
+
+func TestReuseportScanIsLinear(t *testing.T) {
+	task := mkTask(t)
+	lt := NewListen(Costs{}, nil)
+	for i := 0; i < 24; i++ {
+		lt.Insert(task, mkListen(80))
+	}
+	lt.Lookup(task, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80}, 5, true)
+	if got := lt.Stats().Scanned; got != 24 {
+		t.Errorf("reuseport lookup scanned %d entries, want 24", got)
+	}
+}
+
+func TestReuseportScanBouncesCandidateLines(t *testing.T) {
+	// Selecting a copy pulls that socket's lines exclusive to the
+	// looking-up core (the accept queue is about to be written).
+	loop := sim.NewLoop()
+	m := cpu.NewMachine(loop, 2)
+	rng := sim.NewRand(1)
+	dom := cache.NewDomain(100, 0, rng)
+	lt := NewListen(Costs{}, dom)
+	var socks []*tcp.Sock
+	m.Core(0).Submit(func(tk *cpu.Task) {
+		for i := 0; i < 8; i++ {
+			sk := mkListen(80)
+			dom.Access(tk, &sk.Lines) // owner = core 0
+			lt.Insert(tk, sk)
+			socks = append(socks, sk)
+		}
+	})
+	loop.Run()
+	dom.ResetStats()
+	m.Core(1).Submit(func(tk *cpu.Task) {
+		lt.Lookup(tk, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80}, 3, true)
+	})
+	loop.Run()
+	if got := dom.Stats().Bounces; got != 1 {
+		t.Errorf("scan caused %d bounces, want 1 (selected copy only)", got)
+	}
+}
+
+func TestListenRemove(t *testing.T) {
+	task := mkTask(t)
+	lt := NewListen(Costs{}, nil)
+	a, b := mkListen(80), mkListen(80)
+	lt.Insert(task, a)
+	lt.Insert(task, b)
+	if !lt.Remove(task, a) {
+		t.Fatal("Remove failed")
+	}
+	if lt.Remove(task, a) {
+		t.Error("double Remove succeeded")
+	}
+	if lt.Len() != 1 {
+		t.Errorf("Len = %d", lt.Len())
+	}
+	got := lt.Lookup(task, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80}, 0, true)
+	if got != b {
+		t.Error("surviving copy not found after removal")
+	}
+}
+
+func TestListenNilTaskInsert(t *testing.T) {
+	// Setup-time inserts may run outside any core.
+	lt := NewListen(Costs{}, nil)
+	lt.Insert(nil, mkListen(80))
+	if lt.Len() != 1 {
+		t.Error("nil-task insert failed")
+	}
+	n := 0
+	lt.ForEach(func(*tcp.Sock) { n++ })
+	if n != 1 {
+		t.Error("ForEach miscounted")
+	}
+}
+
+func TestListenBucketsSeparatePorts(t *testing.T) {
+	task := mkTask(t)
+	lt := NewListen(Costs{}, nil)
+	s80 := mkListen(80)
+	s8080 := mkListen(8080)
+	lt.Insert(task, s80)
+	lt.Insert(task, s8080)
+	if lt.Lookup(task, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 8080}, 0, false) != s8080 {
+		t.Error("port 8080 lookup failed")
+	}
+	if lt.Lookup(task, netproto.Addr{IP: netproto.IPv4(1, 1, 1, 1), Port: 80}, 0, false) != s80 {
+		t.Error("port 80 lookup failed")
+	}
+}

@@ -1,0 +1,630 @@
+// Package tcp implements the TCP state machine of the simulated
+// kernel: connection establishment (passive and active), in-order
+// data transfer, FIN/RST teardown, TIME_WAIT, and a retransmission
+// timer with exponential backoff.
+//
+// The package is pure protocol logic. Everything environmental —
+// transmitting segments, arming timers, inserting sockets into TCB
+// tables, waking processes — goes through the Env interface, which
+// the kernel implements. CPU-time charging also happens in the
+// kernel, keyed off what the protocol did; this package only decides
+// *what* happens.
+package tcp
+
+import (
+	"fmt"
+
+	"fastsocket/internal/cache"
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/lock"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+// State is a TCP connection state (RFC 793 names).
+type State int
+
+// TCP states.
+const (
+	Closed State = iota
+	Listen
+	SynSent
+	SynRcvd
+	Established
+	FinWait1
+	FinWait2
+	CloseWait
+	LastAck
+	Closing
+	TimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT1", "FIN_WAIT2", "CLOSE_WAIT", "LAST_ACK", "CLOSING",
+	"TIME_WAIT",
+}
+
+// String returns the RFC name of the state.
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// Params holds protocol constants shared by every socket of a kernel.
+type Params struct {
+	MSS        int      // maximum segment size (payload bytes)
+	InitialRTO sim.Time // first retransmission timeout
+	MaxRetries int      // retransmissions before aborting
+	Backlog    int      // accept-queue limit for listen sockets
+	// SynBacklog bounds half-open (SYN_RCVD) children per listener;
+	// beyond it SYNs are dropped, or answered statelessly when
+	// SynCookies is on.
+	SynBacklog int
+	// SynCookies enables stateless SYN-ACKs under SYN-queue pressure
+	// (the kernel's tcp_syncookies defence).
+	SynCookies bool
+	// CookieSecret keys the cookie ISN.
+	CookieSecret uint32
+}
+
+// DefaultParams mirrors conventional Linux settings scaled for the
+// simulated workloads: a benchmark-tuned box (somaxconn raised, as
+// every serious short-lived-connection benchmark does) on a LAN.
+func DefaultParams() *Params {
+	return &Params{
+		MSS:          1460,
+		InitialRTO:   200 * sim.Millisecond,
+		MaxRetries:   5,
+		Backlog:      65536,
+		SynBacklog:   1024,
+		SynCookies:   false,
+		CookieSecret: 0x5EC7E7,
+	}
+}
+
+// Env is everything the protocol needs from the surrounding kernel.
+type Env interface {
+	// Transmit sends a segment originating from sk. The kernel
+	// charges TX costs, lets the NIC sample it (FDir ATR), and puts
+	// it on the wire.
+	Transmit(t *cpu.Task, sk *Sock, p *netproto.Packet)
+	// Accepted moves an ESTABLISHED child into its listener's accept
+	// queue and wakes an acceptor.
+	Accepted(t *cpu.Task, child *Sock)
+	// ConnectDone reports active-connection completion (or failure).
+	ConnectDone(t *cpu.Task, sk *Sock, err error)
+	// Readable signals new data or EOF to the socket's waiters.
+	Readable(t *cpu.Task, sk *Sock)
+	// InsertEstablished puts a socket into the established table of
+	// the current kernel configuration.
+	InsertEstablished(t *cpu.Task, sk *Sock)
+	// Destroy removes a finished socket from the established table
+	// and cancels any timers. The socket's FD (if still open) stays
+	// valid; reads return EOF/ECONNRESET.
+	Destroy(t *cpu.Task, sk *Sock)
+	// ArmRetransmit (re)arms sk's retransmission timer.
+	ArmRetransmit(t *cpu.Task, sk *Sock, d sim.Time)
+	// CancelRetransmit cancels sk's retransmission timer if armed.
+	CancelRetransmit(t *cpu.Task, sk *Sock)
+	// StartTimeWait parks sk in TIME_WAIT and schedules its reaping.
+	StartTimeWait(t *cpu.Task, sk *Sock)
+}
+
+// Seg is an unacknowledged outbound segment kept for retransmission.
+type Seg struct {
+	Seq     uint32
+	Flags   netproto.Flags
+	Payload []byte
+}
+
+// End returns the sequence number just past the segment (SYN and FIN
+// each consume one sequence number).
+func (s *Seg) End() uint32 {
+	end := s.Seq + uint32(len(s.Payload))
+	if s.Flags.Has(netproto.SYN) || s.Flags.Has(netproto.FIN) {
+		end++
+	}
+	return end
+}
+
+// Sock is a TCP control block (the kernel's struct sock).
+type Sock struct {
+	Local, Remote netproto.Addr
+	State         State
+
+	// HomeCore is the core that owns the socket: the RX core of the
+	// SYN for passive connections, the connect() caller's core for
+	// active ones. Connection locality means every touch happens
+	// there.
+	HomeCore int
+
+	SndNxt, SndUna, RcvNxt uint32
+
+	// RcvBuf accumulates in-order payload not yet read by the app.
+	RcvBuf []byte
+	// RcvFIN is set once the peer's FIN is sequenced (EOF after
+	// RcvBuf drains).
+	RcvFIN bool
+
+	unacked []Seg
+	retries int
+
+	// Listen-socket state.
+	AcceptQueue []*Sock
+	Parent      *Sock // listener that spawned this child
+	// SynQueue counts half-open children (SYN_RCVD) of a listener.
+	SynQueue int
+	// CookiesSent / CookiesAccepted count the syncookie defence's
+	// activity on a listener.
+	CookiesSent, CookiesAccepted uint64
+
+	// Slock is the per-socket spinlock ("slock" in Table 1),
+	// protecting the TCB between process and interrupt context.
+	Slock *lock.SpinLock
+	// Lines is the TCB's cache working set for the L3 model.
+	Lines cache.Lines
+
+	Params *Params
+	// User is opaque kernel-side state (fd binding, epoll refs).
+	User any
+
+	// Stats.
+	Retransmits uint64
+	DroppedSegs uint64 // out-of-window/out-of-order segments discarded
+}
+
+// Tuple returns the connection tuple from this endpoint's receive
+// perspective (Src = remote, Dst = local).
+func (sk *Sock) Tuple() netproto.FourTuple {
+	return netproto.FourTuple{Src: sk.Remote, Dst: sk.Local}
+}
+
+// NewSock returns a CLOSED socket with its slock and cache lines
+// initialized.
+func NewSock(params *Params, slockBounce sim.Time) *Sock {
+	return &Sock{
+		State:    Closed,
+		HomeCore: -1,
+		Slock:    lock.New("slock", slockBounce),
+		Lines:    cache.NewLines(3), // sk + rx queue + wmem, ~3 hot lines
+		Params:   params,
+	}
+}
+
+func (sk *Sock) mkseg(flags netproto.Flags, payload []byte, ack bool) *netproto.Packet {
+	p := &netproto.Packet{
+		Src:     sk.Local,
+		Dst:     sk.Remote,
+		Flags:   flags,
+		Seq:     sk.SndNxt,
+		Payload: payload,
+	}
+	if ack {
+		p.Flags |= netproto.ACK
+		p.Ack = sk.RcvNxt
+	}
+	return p
+}
+
+func (sk *Sock) track(p *netproto.Packet) {
+	seg := Seg{Seq: p.Seq, Flags: p.Flags, Payload: p.Payload}
+	sk.unacked = append(sk.unacked, seg)
+	sk.SndNxt = seg.End()
+}
+
+// ConnectStart begins an active open: SYN out, state SYN_SENT. The
+// caller has already bound Local/Remote and inserted the socket into
+// the established table (Linux inserts at connect time so the
+// SYN-ACK can be demultiplexed).
+func ConnectStart(env Env, t *cpu.Task, sk *Sock, isn uint32) {
+	if sk.State != Closed {
+		panic("tcp: connect on " + sk.State.String() + " socket")
+	}
+	sk.SndNxt, sk.SndUna = isn, isn
+	sk.State = SynSent
+	p := sk.mkseg(netproto.SYN, nil, false)
+	sk.track(p)
+	env.Transmit(t, sk, p)
+	env.ArmRetransmit(t, sk, sk.Params.InitialRTO)
+}
+
+// ListenInput handles a SYN arriving for a listen socket: it creates
+// the child socket in SYN_RCVD, inserts it into the established
+// table, and answers SYN-ACK. Returns the child, or nil if the
+// segment was dropped (backlog full or not a SYN).
+func ListenInput(env Env, t *cpu.Task, listener *Sock, p *netproto.Packet, isn uint32, slockBounce sim.Time) *Sock {
+	if listener.State != Listen || !p.Flags.Has(netproto.SYN) || p.Flags.Has(netproto.ACK) {
+		listener.DroppedSegs++
+		return nil
+	}
+	if len(listener.AcceptQueue) >= listener.Params.Backlog {
+		listener.DroppedSegs++
+		return nil
+	}
+	if listener.SynQueue >= listener.Params.SynBacklog {
+		if listener.Params.SynCookies {
+			// Stateless defence: answer with a cookie ISN and keep
+			// no per-connection state; a valid final ACK will
+			// reconstruct the connection (AcceptCookieACK).
+			listener.CookiesSent++
+			env.Transmit(t, listener, &netproto.Packet{
+				Src: p.Dst, Dst: p.Src,
+				Flags: netproto.SYN | netproto.ACK,
+				Seq:   CookieISN(p.Tuple(), listener.Params.CookieSecret),
+				Ack:   p.Seq + 1,
+			})
+			return nil
+		}
+		listener.DroppedSegs++
+		return nil
+	}
+	listener.SynQueue++
+	child := NewSock(listener.Params, slockBounce)
+	child.Local = p.Dst
+	child.Remote = p.Src
+	child.HomeCore = t.CoreID()
+	child.State = SynRcvd
+	child.Parent = listener
+	child.RcvNxt = p.Seq + 1
+	child.SndNxt, child.SndUna = isn, isn
+	env.InsertEstablished(t, child)
+	synack := child.mkseg(netproto.SYN, nil, true)
+	child.track(synack)
+	env.Transmit(t, child, synack)
+	env.ArmRetransmit(t, child, child.Params.InitialRTO)
+	return child
+}
+
+// ackUpdate processes the ACK field, trimming the retransmission
+// queue. Returns true if it acknowledged anything new.
+func ackUpdate(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) bool {
+	if !p.Flags.Has(netproto.ACK) {
+		return false
+	}
+	ack := p.Ack
+	if int32(ack-sk.SndUna) <= 0 {
+		return false
+	}
+	sk.SndUna = ack
+	trimmed := sk.unacked[:0]
+	for _, seg := range sk.unacked {
+		if int32(seg.End()-ack) > 0 {
+			trimmed = append(trimmed, seg)
+		}
+	}
+	sk.unacked = trimmed
+	sk.retries = 0
+	if len(sk.unacked) == 0 {
+		env.CancelRetransmit(t, sk)
+	} else {
+		env.ArmRetransmit(t, sk, sk.Params.InitialRTO)
+	}
+	return true
+}
+
+// Input runs the TCP input routine for a segment addressed to sk.
+// The caller holds sk.Slock and has already charged RX costs.
+func Input(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
+	if p.Flags.Has(netproto.RST) {
+		abort(env, t, sk)
+		return
+	}
+	switch sk.State {
+	case SynSent:
+		inputSynSent(env, t, sk, p)
+	case SynRcvd:
+		inputSynRcvd(env, t, sk, p)
+	case Established, FinWait1, FinWait2:
+		inputStream(env, t, sk, p)
+	case CloseWait, LastAck, Closing:
+		inputClosingSide(env, t, sk, p)
+	case TimeWait:
+		// A retransmitted FIN re-elicits the final ACK.
+		if p.Flags.Has(netproto.FIN) {
+			env.Transmit(t, sk, sk.mkseg(0, nil, true))
+		}
+	default:
+		sk.DroppedSegs++
+	}
+}
+
+func inputSynSent(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
+	if !p.Flags.Has(netproto.SYN) || !p.Flags.Has(netproto.ACK) {
+		sk.DroppedSegs++
+		return
+	}
+	if p.Ack != sk.SndNxt {
+		sk.DroppedSegs++
+		return
+	}
+	sk.RcvNxt = p.Seq + 1
+	ackUpdate(env, t, sk, p)
+	sk.State = Established
+	env.Transmit(t, sk, sk.mkseg(0, nil, true))
+	env.ConnectDone(t, sk, nil)
+}
+
+func inputSynRcvd(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
+	if p.Flags.Has(netproto.SYN) {
+		// Retransmitted SYN: re-answer.
+		env.Transmit(t, sk, &netproto.Packet{
+			Src: sk.Local, Dst: sk.Remote,
+			Flags: netproto.SYN | netproto.ACK,
+			Seq:   sk.SndUna, Ack: sk.RcvNxt,
+		})
+		return
+	}
+	if !ackUpdate(env, t, sk, p) {
+		sk.DroppedSegs++
+		return
+	}
+	sk.State = Established
+	if sk.Parent != nil && sk.Parent.SynQueue > 0 {
+		sk.Parent.SynQueue--
+	}
+	env.Accepted(t, sk)
+	// The handshake ACK may carry data (TCP fast open-ish clients);
+	// process any payload in the same segment.
+	if len(p.Payload) > 0 || p.Flags.Has(netproto.FIN) {
+		inputStream(env, t, sk, p)
+	}
+}
+
+// inputStream handles data/FIN segments in the synchronized states.
+func inputStream(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
+	acked := ackUpdate(env, t, sk, p)
+
+	// In FIN_WAIT_1, our FIN being acknowledged advances the close.
+	if sk.State == FinWait1 && acked && sk.SndUna == sk.SndNxt {
+		sk.State = FinWait2
+	}
+
+	advanced := false
+	if len(p.Payload) > 0 {
+		if p.Seq == sk.RcvNxt {
+			sk.RcvBuf = append(sk.RcvBuf, p.Payload...)
+			sk.RcvNxt += uint32(len(p.Payload))
+			advanced = true
+		} else if int32(p.Seq-sk.RcvNxt) < 0 {
+			// Duplicate: re-ACK below, do not deliver.
+			advanced = true
+		} else {
+			// Out-of-order future segment: the simulated wire
+			// preserves per-flow ordering, so this only happens
+			// after a drop. Discard and let the peer retransmit.
+			sk.DroppedSegs++
+			return
+		}
+	}
+	if p.Flags.Has(netproto.FIN) && p.Seq+uint32(len(p.Payload)) == sk.RcvNxt {
+		sk.RcvNxt++
+		sk.RcvFIN = true
+		advanced = true
+		switch sk.State {
+		case Established:
+			sk.State = CloseWait
+		case FinWait1:
+			if sk.SndUna == sk.SndNxt {
+				// Our FIN already acknowledged in this segment.
+				env.Transmit(t, sk, sk.mkseg(0, nil, true))
+				enterTimeWait(env, t, sk)
+				env.Readable(t, sk)
+				return
+			}
+			sk.State = Closing
+		case FinWait2:
+			env.Transmit(t, sk, sk.mkseg(0, nil, true))
+			enterTimeWait(env, t, sk)
+			env.Readable(t, sk)
+			return
+		}
+	}
+	if advanced {
+		env.Transmit(t, sk, sk.mkseg(0, nil, true))
+		if len(sk.RcvBuf) > 0 || sk.RcvFIN {
+			env.Readable(t, sk)
+		}
+	}
+}
+
+func inputClosingSide(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
+	acked := ackUpdate(env, t, sk, p)
+	switch sk.State {
+	case LastAck:
+		if acked && sk.SndUna == sk.SndNxt {
+			sk.State = Closed
+			env.Destroy(t, sk)
+		}
+	case Closing:
+		if acked && sk.SndUna == sk.SndNxt {
+			enterTimeWait(env, t, sk)
+		}
+	case CloseWait:
+		if p.Flags.Has(netproto.FIN) {
+			// Retransmitted FIN: re-ACK.
+			env.Transmit(t, sk, sk.mkseg(0, nil, true))
+		}
+	}
+}
+
+func enterTimeWait(env Env, t *cpu.Task, sk *Sock) {
+	sk.State = TimeWait
+	env.CancelRetransmit(t, sk)
+	env.StartTimeWait(t, sk)
+}
+
+func abort(env Env, t *cpu.Task, sk *Sock) {
+	if sk.State == SynRcvd && sk.Parent != nil && sk.Parent.SynQueue > 0 {
+		sk.Parent.SynQueue--
+	}
+	wasUsable := sk.State == SynSent
+	sk.State = Closed
+	sk.RcvFIN = true // readers see EOF
+	env.CancelRetransmit(t, sk)
+	if wasUsable {
+		env.ConnectDone(t, sk, ErrReset)
+	} else {
+		env.Readable(t, sk)
+	}
+	env.Destroy(t, sk)
+}
+
+// ErrReset is reported when a connection is aborted by RST or
+// retransmission exhaustion.
+var ErrReset = fmt.Errorf("tcp: connection reset")
+
+// Send queues and transmits application data, segmenting at MSS.
+// Caller holds the slock. Returns the number of bytes sent.
+func Send(env Env, t *cpu.Task, sk *Sock, data []byte) int {
+	if sk.State != Established && sk.State != CloseWait {
+		return 0
+	}
+	sent := 0
+	for len(data) > 0 {
+		n := len(data)
+		if n > sk.Params.MSS {
+			n = sk.Params.MSS
+		}
+		p := sk.mkseg(netproto.PSH, data[:n], true)
+		sk.track(p)
+		env.Transmit(t, sk, p)
+		data = data[n:]
+		sent += n
+	}
+	if sent > 0 {
+		env.ArmRetransmit(t, sk, sk.Params.InitialRTO)
+	}
+	return sent
+}
+
+// Recv drains up to max bytes of in-order payload from the receive
+// buffer. eof is true once the stream is fully consumed and the peer
+// has FINed. Caller holds the slock.
+func Recv(sk *Sock, max int) (data []byte, eof bool) {
+	n := len(sk.RcvBuf)
+	if max > 0 && n > max {
+		n = max
+	}
+	data = sk.RcvBuf[:n]
+	sk.RcvBuf = sk.RcvBuf[n:]
+	return data, sk.RcvFIN && len(sk.RcvBuf) == 0
+}
+
+// Close runs the application's close() on the socket. Caller holds
+// the slock.
+func Close(env Env, t *cpu.Task, sk *Sock) {
+	switch sk.State {
+	case Established:
+		fin := sk.mkseg(netproto.FIN, nil, true)
+		sk.track(fin)
+		env.Transmit(t, sk, fin)
+		env.ArmRetransmit(t, sk, sk.Params.InitialRTO)
+		sk.State = FinWait1
+	case CloseWait:
+		fin := sk.mkseg(netproto.FIN, nil, true)
+		sk.track(fin)
+		env.Transmit(t, sk, fin)
+		env.ArmRetransmit(t, sk, sk.Params.InitialRTO)
+		sk.State = LastAck
+	case SynSent, SynRcvd:
+		// Abort the half-open connection silently (the kernel sends
+		// RST for SYN_RCVD; our peers give up via retransmit limits).
+		if sk.State == SynRcvd && sk.Parent != nil && sk.Parent.SynQueue > 0 {
+			sk.Parent.SynQueue--
+		}
+		sk.State = Closed
+		env.CancelRetransmit(t, sk)
+		env.Destroy(t, sk)
+	case Listen, Closed:
+		sk.State = Closed
+	}
+}
+
+// RetransmitTimeout handles the retransmission timer firing. Caller
+// holds the slock.
+func RetransmitTimeout(env Env, t *cpu.Task, sk *Sock) {
+	if len(sk.unacked) == 0 || sk.State == Closed || sk.State == TimeWait {
+		return
+	}
+	sk.retries++
+	if sk.retries > sk.Params.MaxRetries {
+		abort(env, t, sk)
+		return
+	}
+	sk.Retransmits++
+	seg := sk.unacked[0]
+	p := &netproto.Packet{
+		Src: sk.Local, Dst: sk.Remote,
+		Flags:   seg.Flags,
+		Seq:     seg.Seq,
+		Payload: seg.Payload,
+	}
+	// An initial SYN carries no ACK; everything else does.
+	if sk.State != SynSent {
+		p.Flags |= netproto.ACK
+		p.Ack = sk.RcvNxt
+	}
+	env.Transmit(t, sk, p)
+	env.ArmRetransmit(t, sk, sk.Params.InitialRTO<<uint(sk.retries))
+}
+
+// TimeWaitExpire reaps a TIME_WAIT socket.
+func TimeWaitExpire(env Env, t *cpu.Task, sk *Sock) {
+	if sk.State != TimeWait {
+		return
+	}
+	sk.State = Closed
+	env.Destroy(t, sk)
+}
+
+// UnackedLen reports outstanding unacknowledged segments (tests).
+func (sk *Sock) UnackedLen() int { return len(sk.unacked) }
+
+// CookieISN derives the stateless SYN-cookie initial sequence number
+// for a connection tuple (a keyed hash, as tcp_syncookies computes).
+func CookieISN(ft netproto.FourTuple, secret uint32) uint32 {
+	h := ft.Hash() ^ (uint64(secret) * 0x9e3779b97f4a7c15)
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// AcceptCookieACK validates the final ACK of a cookie handshake and,
+// if genuine, reconstructs the connection in ESTABLISHED state (no
+// SYN_RCVD stage — the whole point of the defence). Returns nil for
+// forged or stale ACKs. Caller holds the listener's slock.
+func AcceptCookieACK(env Env, t *cpu.Task, listener *Sock, p *netproto.Packet, slockBounce sim.Time) *Sock {
+	if listener.State != Listen || !listener.Params.SynCookies {
+		return nil
+	}
+	if !p.Flags.Has(netproto.ACK) || p.Flags.Has(netproto.SYN) || p.Flags.Has(netproto.RST) {
+		return nil
+	}
+	if p.Ack-1 != CookieISN(p.Tuple(), listener.Params.CookieSecret) {
+		return nil // forged or not ours
+	}
+	if len(listener.AcceptQueue) >= listener.Params.Backlog {
+		listener.DroppedSegs++
+		return nil
+	}
+	listener.CookiesAccepted++
+	child := NewSock(listener.Params, slockBounce)
+	child.Local = p.Dst
+	child.Remote = p.Src
+	child.HomeCore = t.CoreID()
+	child.State = Established
+	child.Parent = listener
+	child.RcvNxt = p.Seq
+	child.SndNxt, child.SndUna = p.Ack, p.Ack
+	env.InsertEstablished(t, child)
+	env.Accepted(t, child)
+	// The validating ACK may carry piggybacked data.
+	if len(p.Payload) > 0 || p.Flags.Has(netproto.FIN) {
+		Input(env, t, child, p)
+	}
+	return child
+}

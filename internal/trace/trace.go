@@ -1,0 +1,136 @@
+// Package trace is the simulation's tcpdump: a bounded ring buffer of
+// packet events (RX and TX, with the core that handled them and the
+// simulated timestamp), with optional filtering. Attach one to a
+// kernel with Kernel.SetTracer to debug protocol exchanges or steering
+// decisions; examples and tests use it to assert on wire behaviour.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+// Dir is the packet direction relative to the traced machine.
+type Dir int
+
+// Directions.
+const (
+	RX Dir = iota
+	TX
+)
+
+// String renders "rx"/"tx".
+func (d Dir) String() string {
+	if d == RX {
+		return "rx"
+	}
+	return "tx"
+}
+
+// Event is one traced packet.
+type Event struct {
+	At   sim.Time
+	Dir  Dir
+	Core int // RX: the core the NIC steered to; TX: the transmitting core
+	Pkt  netproto.Packet
+}
+
+// String renders a tcpdump-ish line.
+func (e Event) String() string {
+	return fmt.Sprintf("%-10v %s core%-2d %s", e.At, e.Dir, e.Core, e.Pkt.String())
+}
+
+// Filter selects which packets are recorded; nil records everything.
+type Filter func(dir Dir, p *netproto.Packet) bool
+
+// FlowFilter records only packets of one connection (either
+// direction).
+func FlowFilter(a, b netproto.Addr) Filter {
+	return func(_ Dir, p *netproto.Packet) bool {
+		return (p.Src == a && p.Dst == b) || (p.Src == b && p.Dst == a)
+	}
+}
+
+// PortFilter records packets whose source or destination port
+// matches.
+func PortFilter(port netproto.Port) Filter {
+	return func(_ Dir, p *netproto.Packet) bool {
+		return p.Src.Port == port || p.Dst.Port == port
+	}
+}
+
+// FlagFilter records packets carrying all given flags (e.g. SYN for
+// connection attempts, RST for failures).
+func FlagFilter(f netproto.Flags) Filter {
+	return func(_ Dir, p *netproto.Packet) bool { return p.Flags.Has(f) }
+}
+
+// Ring is a bounded packet trace. It implements the kernel's
+// PacketTracer hook.
+type Ring struct {
+	clock  func() sim.Time
+	filter Filter
+	buf    []Event
+	next   int
+	full   bool
+	seen   uint64
+}
+
+// NewRing builds a trace of the given capacity. clock supplies
+// timestamps (usually loop.Now).
+func NewRing(capacity int, clock func() sim.Time, filter Filter) *Ring {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Ring{clock: clock, filter: filter, buf: make([]Event, capacity)}
+}
+
+// Trace records one packet event. The signature matches the kernel's
+// PacketTracer hook (dir: 0 = RX, 1 = TX).
+func (r *Ring) Trace(dir int, p *netproto.Packet, core int) {
+	d := Dir(dir)
+	if r.filter != nil && !r.filter(d, p) {
+		return
+	}
+	r.seen++
+	r.buf[r.next] = Event{At: r.clock(), Dir: d, Core: core, Pkt: *p}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Seen returns how many packets matched the filter (including ones
+// that have rotated out of the ring).
+func (r *Ring) Seen() uint64 { return r.seen }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Format renders the retained events, one per line.
+func (r *Ring) Format() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Reset clears the ring (the Seen counter survives).
+func (r *Ring) Reset() {
+	r.next = 0
+	r.full = false
+}

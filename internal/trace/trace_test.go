@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+func addr(last byte, port netproto.Port) netproto.Addr {
+	return netproto.Addr{IP: netproto.IPv4(10, 0, 0, last), Port: port}
+}
+
+func pkt(sp, dp netproto.Port, f netproto.Flags) *netproto.Packet {
+	return &netproto.Packet{Src: addr(1, sp), Dst: addr(2, dp), Flags: f}
+}
+
+func fixedClock(t sim.Time) func() sim.Time { return func() sim.Time { return t } }
+
+func TestRingRecordsAndFormats(t *testing.T) {
+	r := NewRing(8, fixedClock(1000), nil)
+	r.Trace(0, pkt(40000, 80, netproto.SYN), 3)
+	r.Trace(1, pkt(80, 40000, netproto.SYN|netproto.ACK), 3)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Dir != RX || evs[1].Dir != TX {
+		t.Error("directions wrong")
+	}
+	if evs[0].Core != 3 || evs[0].At != 1000 {
+		t.Errorf("event fields: %+v", evs[0])
+	}
+	out := r.Format()
+	if !strings.Contains(out, "rx core3") || !strings.Contains(out, "SYN") {
+		t.Errorf("format = %q", out)
+	}
+}
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	r := NewRing(3, fixedClock(0), nil)
+	for i := 0; i < 5; i++ {
+		r.Trace(0, pkt(netproto.Port(40000+i), 80, 0), i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d retained", len(evs))
+	}
+	if evs[0].Core != 2 || evs[2].Core != 4 {
+		t.Errorf("order wrong: %v", evs)
+	}
+	if r.Seen() != 5 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+func TestFlowFilter(t *testing.T) {
+	a, b := addr(1, 40000), addr(2, 80)
+	r := NewRing(8, fixedClock(0), FlowFilter(a, b))
+	r.Trace(0, &netproto.Packet{Src: a, Dst: b}, 0)          // match
+	r.Trace(1, &netproto.Packet{Src: b, Dst: a}, 0)          // reverse match
+	r.Trace(0, &netproto.Packet{Src: addr(9, 1), Dst: b}, 0) // other flow
+	if len(r.Events()) != 2 {
+		t.Errorf("%d events, want 2", len(r.Events()))
+	}
+}
+
+func TestPortAndFlagFilters(t *testing.T) {
+	r := NewRing(8, fixedClock(0), PortFilter(80))
+	r.Trace(0, pkt(40000, 80, 0), 0)
+	r.Trace(0, pkt(40000, 81, 0), 0)
+	if len(r.Events()) != 1 {
+		t.Error("port filter failed")
+	}
+	r2 := NewRing(8, fixedClock(0), FlagFilter(netproto.RST))
+	r2.Trace(0, pkt(1, 2, netproto.RST), 0)
+	r2.Trace(0, pkt(1, 2, netproto.ACK), 0)
+	if len(r2.Events()) != 1 {
+		t.Error("flag filter failed")
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2, fixedClock(0), nil)
+	r.Trace(0, pkt(1, 2, 0), 0)
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("Reset left events")
+	}
+	if r.Seen() != 1 {
+		t.Error("Seen reset unexpectedly")
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	NewRing(0, fixedClock(0), nil)
+}
+
+func TestDirString(t *testing.T) {
+	if RX.String() != "rx" || TX.String() != "tx" {
+		t.Error("dir names")
+	}
+}
+
+func TestWritePcap(t *testing.T) {
+	r := NewRing(8, fixedClock(1500*sim.Microsecond), nil)
+	r.Trace(0, pkt(40000, 80, netproto.SYN), 0)
+	r.Trace(1, pkt(80, 40000, netproto.SYN|netproto.ACK), 0)
+	var buf bytes.Buffer
+	if err := r.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if len(out) < 24 {
+		t.Fatal("no global header")
+	}
+	if binary.LittleEndian.Uint32(out[0:]) != 0xa1b2c3d4 {
+		t.Error("bad magic")
+	}
+	if binary.LittleEndian.Uint32(out[20:]) != 101 {
+		t.Error("link type != RAW")
+	}
+	// First record: 16-byte header then a parsable IPv4 datagram.
+	rec := out[24:]
+	caplen := binary.LittleEndian.Uint32(rec[8:])
+	usec := binary.LittleEndian.Uint32(rec[4:])
+	if usec != 1500 {
+		t.Errorf("timestamp usec = %d, want 1500", usec)
+	}
+	dgram := rec[16 : 16+caplen]
+	p, err := netproto.Unmarshal(dgram)
+	if err != nil {
+		t.Fatalf("pcap record not a valid datagram: %v", err)
+	}
+	if !p.Flags.Has(netproto.SYN) {
+		t.Error("first record is not the SYN")
+	}
+	// Two records total.
+	second := rec[16+caplen:]
+	if len(second) < 16 {
+		t.Fatal("second record missing")
+	}
+}

@@ -1,0 +1,264 @@
+package vfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastsocket/internal/cpu"
+	"fastsocket/internal/sim"
+)
+
+func run1(t *testing.T, fn func(tk *cpu.Task)) {
+	loop := sim.NewLoop()
+	m := cpu.NewMachine(loop, 1)
+	done := false
+	m.Core(0).Submit(func(tk *cpu.Task) { fn(tk); done = true })
+	loop.Run()
+	if !done {
+		t.Fatal("work did not run")
+	}
+}
+
+func testCosts() Costs {
+	return Costs{DentryWork: 400, InodeWork: 300, FreeWork: 250, ShardedWork: 150, FastWork: 50, Shards: 16}
+}
+
+func TestLegacyPathTakesGlobalLocks(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		l := NewLayer(Legacy2632, testCosts(), 0)
+		f := l.AllocSocketFile(tk, "sock")
+		if l.Dcache.Stats().Acquisitions != 1 || l.Inode.Stats().Acquisitions != 1 {
+			t.Error("legacy alloc did not take both global locks")
+		}
+		l.FreeSocketFile(tk, f)
+		if l.Dcache.Stats().Acquisitions != 2 || l.Inode.Stats().Acquisitions != 2 {
+			t.Error("legacy free did not take both global locks")
+		}
+	})
+}
+
+func TestFastpathSkipsLocks(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		l := NewLayer(Fastpath, testCosts(), 0)
+		start := tk.Now()
+		f := l.AllocSocketFile(tk, "sock")
+		l.FreeSocketFile(tk, f)
+		if got := tk.Now() - start; got != 100 { // 2 x FastWork
+			t.Errorf("fastpath charged %v, want 100", got)
+		}
+		if l.DcacheStats().Acquisitions != 0 || l.InodeStats().Acquisitions != 0 {
+			t.Error("fastpath touched VFS locks")
+		}
+	})
+}
+
+func TestShardedPathUsesShards(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		l := NewLayer(Sharded313, testCosts(), 0)
+		for i := 0; i < 10; i++ {
+			l.AllocSocketFile(tk, i)
+		}
+		if got := l.DcacheStats().Acquisitions; got != 10 {
+			t.Errorf("sharded dcache acquisitions = %d", got)
+		}
+		if l.Dcache.Stats().Acquisitions != 0 {
+			t.Error("sharded mode touched the global dcache_lock")
+		}
+	})
+}
+
+func TestLegacyContentionAcrossCores(t *testing.T) {
+	loop := sim.NewLoop()
+	m := cpu.NewMachine(loop, 4)
+	l := NewLayer(Legacy2632, testCosts(), 30)
+	for c := 0; c < 4; c++ {
+		c := c
+		m.Core(c).Submit(func(tk *cpu.Task) {
+			for i := 0; i < 5; i++ {
+				f := l.AllocSocketFile(tk, c*10+i)
+				l.FreeSocketFile(tk, f)
+			}
+		})
+	}
+	loop.Run()
+	if got := l.Dcache.Stats().Contended; got == 0 {
+		t.Error("no dcache_lock contention with 4 cores hammering")
+	}
+}
+
+func TestProcEntriesSurviveFastpath(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		l := NewLayer(Fastpath, testCosts(), 0)
+		a := l.AllocSocketFile(tk, "a")
+		b := l.AllocSocketFile(tk, "b")
+		if len(l.ProcEntries()) != 2 {
+			t.Fatalf("/proc sees %d sockets, want 2", len(l.ProcEntries()))
+		}
+		l.FreeSocketFile(tk, a)
+		entries := l.ProcEntries()
+		if len(entries) != 1 || entries[0] != b {
+			t.Errorf("/proc after free = %v", entries)
+		}
+		if a.Ino == b.Ino || a.Ino == 0 {
+			t.Error("inode numbers not unique/nonzero")
+		}
+	})
+}
+
+func TestLayerStats(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		l := NewLayer(Fastpath, testCosts(), 0)
+		f := l.AllocSocketFile(tk, nil)
+		if st := l.Stats(); st.Allocs != 1 || st.Live != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+		l.FreeSocketFile(tk, f)
+		if st := l.Stats(); st.Frees != 1 || st.Live != 0 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		Legacy2632: "legacy-2.6.32",
+		Sharded313: "sharded-3.13",
+		Fastpath:   "fastsocket-aware",
+		Mode(9):    "Mode(9)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q", int(m), got)
+		}
+	}
+}
+
+func TestFDTableLowestAvailable(t *testing.T) {
+	ft := NewFDTable()
+	// 0,1,2 reserved.
+	fd3 := ft.Install(&File{Ino: 100})
+	fd4 := ft.Install(&File{Ino: 101})
+	if fd3 != 3 || fd4 != 4 {
+		t.Fatalf("fds = %d,%d, want 3,4", fd3, fd4)
+	}
+	ft.Release(3)
+	if fd := ft.Install(&File{Ino: 102}); fd != 3 {
+		t.Errorf("reused fd = %d, want lowest available 3", fd)
+	}
+}
+
+func TestFDTableGetRelease(t *testing.T) {
+	ft := NewFDTable()
+	f := &File{Ino: 9}
+	fd := ft.Install(f)
+	if ft.Get(fd) != f {
+		t.Error("Get returned wrong file")
+	}
+	if ft.Get(-1) != nil || ft.Get(1000) != nil {
+		t.Error("out-of-range Get not nil")
+	}
+	if ft.Release(fd) != f {
+		t.Error("Release returned wrong file")
+	}
+	if ft.Release(fd) != nil {
+		t.Error("double release returned a file")
+	}
+	if ft.Release(999) != nil {
+		t.Error("out-of-range release returned a file")
+	}
+}
+
+func TestFDTableOpenCount(t *testing.T) {
+	ft := NewFDTable()
+	if ft.Open() != 3 {
+		t.Fatalf("fresh table Open = %d, want 3 (std fds)", ft.Open())
+	}
+	fd := ft.Install(&File{})
+	if ft.Open() != 4 {
+		t.Errorf("Open = %d", ft.Open())
+	}
+	ft.Release(fd)
+	if ft.Open() != 3 {
+		t.Errorf("Open after release = %d", ft.Open())
+	}
+}
+
+func TestFDTableLowestRuleProperty(t *testing.T) {
+	// Property: after any sequence of installs and releases, a new
+	// install lands on the lowest free slot.
+	f := func(ops []uint8) bool {
+		ft := NewFDTable()
+		var open []int
+		for _, op := range ops {
+			if op%3 == 0 && len(open) > 0 {
+				idx := int(op) % len(open)
+				ft.Release(open[idx])
+				open = append(open[:idx], open[idx+1:]...)
+			} else {
+				fd := ft.Install(&File{})
+				// Verify minimality: every smaller fd is occupied.
+				for i := 0; i < fd; i++ {
+					if ft.Get(i) == nil {
+						return false
+					}
+				}
+				open = append(open, fd)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxFD(t *testing.T) {
+	ft := NewFDTable()
+	ft.Install(&File{})
+	ft.Install(&File{})
+	if ft.MaxFD() != 4 {
+		t.Errorf("MaxFD = %d, want 4", ft.MaxFD())
+	}
+}
+
+func TestShardedFreePath(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		l := NewLayer(Sharded313, testCosts(), 0)
+		f := l.AllocSocketFile(tk, "s")
+		before := l.DcacheStats().Acquisitions
+		l.FreeSocketFile(tk, f)
+		if l.DcacheStats().Acquisitions != before+1 {
+			t.Error("sharded free did not take the dcache shard")
+		}
+		if l.Stats().Live != 0 {
+			t.Error("free did not decrement Live")
+		}
+	})
+}
+
+func TestAllocBootSkipsCharges(t *testing.T) {
+	l := NewLayer(Legacy2632, testCosts(), 0)
+	f := l.AllocBoot("listener")
+	if f.Ino == 0 || f.Sock != "listener" {
+		t.Errorf("boot file = %+v", f)
+	}
+	if l.Dcache.Stats().Acquisitions != 0 {
+		t.Error("boot alloc touched dcache_lock")
+	}
+	if len(l.ProcEntries()) != 1 {
+		t.Error("boot file not registered for /proc")
+	}
+}
+
+func TestInodeNumbersMonotonic(t *testing.T) {
+	run1(t, func(tk *cpu.Task) {
+		l := NewLayer(Fastpath, testCosts(), 0)
+		var last uint64
+		for i := 0; i < 10; i++ {
+			f := l.AllocSocketFile(tk, i)
+			if f.Ino <= last {
+				t.Fatalf("inode %d not monotonic after %d", f.Ino, last)
+			}
+			last = f.Ino
+		}
+	})
+}

@@ -1,0 +1,57 @@
+// Package workload defines the traffic the experiments replay: the
+// paper's short-lived-connection benchmark parameters and a diurnal
+// production-traffic curve for the Figure 3 scenario.
+package workload
+
+import "fastsocket/internal/sim"
+
+// ShortLived is the canonical benchmark workload: one ~600-byte
+// request, one ~1200-byte response, connection closed (HTTP
+// keep-alive disabled), concurrency of 500 per server core.
+type ShortLived struct {
+	RequestLen         int
+	ResponseLen        int
+	ConcurrencyPerCore int
+}
+
+// DefaultShortLived returns the paper's parameters.
+func DefaultShortLived() ShortLived {
+	return ShortLived{RequestLen: 600, ResponseLen: 1200, ConcurrencyPerCore: 500}
+}
+
+// Diurnal is a 24-hour production traffic curve: per-hour load
+// multipliers relative to the peak, shaped like the Weibo curve in
+// Figure 3 (quiet overnight, ramp through the morning, evening peak).
+type Diurnal struct {
+	// HourlyFactor[h] scales PeakRate for hour h.
+	HourlyFactor [24]float64
+	// PeakRate is the busiest hour's connection rate (conns/s).
+	PeakRate float64
+}
+
+// WeiboDiurnal approximates the shape of the paper's Figure 3 CPU
+// curve: minimum around 05:00, a fast morning ramp, sustained high
+// load from midday, and the peak in the evening (~22:00).
+func WeiboDiurnal(peakRate float64) Diurnal {
+	return Diurnal{
+		PeakRate: peakRate,
+		HourlyFactor: [24]float64{
+			0.62, 0.50, 0.40, 0.34, 0.30, 0.32, // 00-05
+			0.40, 0.52, 0.66, 0.76, 0.83, 0.88, // 06-11
+			0.90, 0.88, 0.85, 0.84, 0.85, 0.87, // 12-17
+			0.90, 0.93, 0.96, 0.99, 1.00, 0.80, // 18-23
+		},
+	}
+}
+
+// Rate returns the connection rate at hour h (0-23).
+func (d Diurnal) Rate(h int) float64 {
+	return d.PeakRate * d.HourlyFactor[((h%24)+24)%24]
+}
+
+// RateAt maps simulated time onto the curve given a compressed hour
+// length (e.g. each simulated 20ms stands for one wall-clock hour).
+func (d Diurnal) RateAt(now, hourLen sim.Time) float64 {
+	h := int(now / hourLen)
+	return d.Rate(h % 24)
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"fastsocket/internal/sim"
+)
+
+func TestDefaultShortLived(t *testing.T) {
+	w := DefaultShortLived()
+	if w.RequestLen != 600 || w.ResponseLen != 1200 || w.ConcurrencyPerCore != 500 {
+		t.Errorf("defaults = %+v, want the paper's parameters", w)
+	}
+}
+
+func TestWeiboDiurnalShape(t *testing.T) {
+	d := WeiboDiurnal(100000)
+	// Peak in the evening, trough in the early morning.
+	if d.Rate(22) != 100000 {
+		t.Errorf("peak hour rate = %v, want 100000", d.Rate(22))
+	}
+	trough := d.Rate(4)
+	if trough >= d.Rate(12) || trough >= d.Rate(22) {
+		t.Error("04:00 is not the trough")
+	}
+	// All hours positive and <= peak.
+	for h := 0; h < 24; h++ {
+		r := d.Rate(h)
+		if r <= 0 || r > 100000 {
+			t.Errorf("hour %d rate = %v", h, r)
+		}
+	}
+}
+
+func TestDiurnalRateWraps(t *testing.T) {
+	d := WeiboDiurnal(1000)
+	if d.Rate(24) != d.Rate(0) || d.Rate(25) != d.Rate(1) {
+		t.Error("Rate does not wrap at 24h")
+	}
+	if d.Rate(-1) != d.Rate(23) {
+		t.Error("Rate does not wrap for negative hours")
+	}
+}
+
+func TestRateAtMapsSimTime(t *testing.T) {
+	d := WeiboDiurnal(1000)
+	hourLen := 10 * sim.Millisecond
+	if got := d.RateAt(0, hourLen); got != d.Rate(0) {
+		t.Errorf("t=0 rate = %v", got)
+	}
+	if got := d.RateAt(15*sim.Millisecond, hourLen); got != d.Rate(1) {
+		t.Errorf("t=1.5h rate = %v, want hour 1", got)
+	}
+	// Past 24 compressed hours the curve repeats.
+	if got := d.RateAt(245*sim.Millisecond, hourLen); got != d.Rate(0) {
+		t.Errorf("t=24.5h rate = %v, want hour 0 again", got)
+	}
+}

@@ -1,13 +1,21 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figures quick-figures examples clean
+.PHONY: all build lint test bench figures quick-figures examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test:
+# Static checks: formatting, vet, and the repo's own fslint analyzer
+# (determinism, lock discipline, and unit hygiene — see DESIGN.md).
+lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$fmt"; exit 1; fi
+	go vet ./...
+	go run ./cmd/fslint ./...
+
+test: lint
 	go test ./...
 
 # Full test run recorded to test_output.txt (what CI would archive).

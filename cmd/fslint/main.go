@@ -1,0 +1,143 @@
+// Command fslint runs the project's determinism, lock-discipline and
+// unit-hygiene static analysis (see internal/analysis) over package
+// patterns:
+//
+//	go run ./cmd/fslint ./...
+//
+// It prints file:line:col diagnostics and exits non-zero if any rule
+// fires. Suppress a finding with //fslint:ignore <rule> <reason> on
+// the offending line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fastsocket/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fslint [packages]\n\n"+
+			"Patterns are directories; dir/... walks recursively. Default: ./...\n")
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	a := analysis.New(fset)
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fslint: %v\n", err)
+			os.Exit(2)
+		}
+		if len(files) > 0 {
+			a.AddPackage(filepath.ToSlash(dir), files...)
+		}
+	}
+
+	diags := a.Run()
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "fslint: %d issue(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// expand turns package patterns into a sorted list of directories
+// containing Go files.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		if root, recursive := strings.CutSuffix(p, "/..."); recursive {
+			if root == "." || root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(p)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDir parses every .go file in dir (tests included — the
+// analyzer decides per rule whether tests are in scope).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,457 @@
+// Package analysis implements fslint, the project's custom static
+// analyzer. The simulation's scientific claims rest on two invariants
+// that the compiler cannot check:
+//
+//   - Determinism: the whole simulated kernel runs single-threaded on
+//     a virtual clock and must be bit-reproducible. Wall-clock reads,
+//     math/rand, goroutines, channels, sync primitives and unordered
+//     map iteration all leak host nondeterminism into published
+//     numbers (Figures 3-5, Table 1).
+//   - Lock discipline: internal/lock spinlocks are contention models;
+//     lockstat output is only meaningful if every Acquire has a
+//     matching Release on all paths and ordering stays consistent.
+//
+// fslint enforces three rules, each suppressible per line with
+//
+//	//fslint:ignore <rule> <reason>
+//
+// placed on the offending line or the line directly above it:
+//
+//   - determinism: in the restricted simulation packages, forbid
+//     imports of time, math/rand and sync, goroutine launches, channel
+//     types/operations, select statements, and iteration over maps
+//     unless the loop body only collects elements into a slice that is
+//     subsequently sorted in the same function.
+//   - locks: every SpinLock Acquire/TryAcquire must be matched by a
+//     Release (or a defer of one) on every return path of the same
+//     function, and an Acquire inside a loop must be released before
+//     the next iteration.
+//   - units: bare integer literals larger than 1000 must not be passed
+//     where a sim.Time parameter is expected; use unit constants
+//     (N*sim.Microsecond) or a named cost from internal/kernel/costs.go.
+//
+// The analyzer is deliberately built only on the standard library
+// (go/parser, go/ast, go/token): the build environment is offline and
+// go.mod must stay dependency-free. Type information is recovered
+// syntactically from a whole-repo index (struct fields with map types,
+// functions returning maps, functions taking sim.Time parameters); the
+// suppression comment is the escape hatch for the rare case the
+// heuristics misjudge.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rule names, as used in diagnostics and //fslint:ignore directives.
+const (
+	RuleDeterminism = "determinism"
+	RuleLocks       = "locks"
+	RuleUnits       = "units"
+	// RuleDirective flags malformed fslint directives themselves.
+	RuleDirective = "fslint"
+)
+
+var knownRules = map[string]bool{
+	RuleDeterminism: true,
+	RuleLocks:       true,
+	RuleUnits:       true,
+}
+
+// restrictedPkgs are the internal/<name> packages whose code feeds
+// simulated results and therefore must stay deterministic.
+var restrictedPkgs = map[string]bool{
+	"sim": true, "lock": true, "cpu": true, "nic": true,
+	"kernel": true, "tcb": true, "tcp": true, "vfs": true,
+	"epoll": true, "ktimer": true, "core": true, "netproto": true,
+	"workload": true, "experiment": true,
+}
+
+// forbiddenImports are packages whose mere linkage into a restricted
+// package is a determinism smell.
+var forbiddenImports = map[string]string{
+	"time":         "wall-clock time; use sim.Time",
+	"math/rand":    "host randomness; use sim.Rand",
+	"math/rand/v2": "host randomness; use sim.Rand",
+	"sync":         "real synchronization; the simulation is single-threaded",
+	"sync/atomic":  "real synchronization; the simulation is single-threaded",
+}
+
+// Diagnostic is one finding, with a stable file:line:col anchor.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Package is one parsed package handed to the analyzer.
+type Package struct {
+	// Path is the slash-separated directory path relative to the
+	// module root, e.g. "internal/kernel".
+	Path  string
+	Files []*ast.File
+}
+
+// Analyzer runs all fslint rules over a set of packages.
+type Analyzer struct {
+	fset *token.FileSet
+	pkgs []*Package
+	idx  *index
+}
+
+// New returns an analyzer using fset for positions.
+func New(fset *token.FileSet) *Analyzer {
+	return &Analyzer{fset: fset}
+}
+
+// AddPackage registers a package for analysis. All packages must be
+// added before Run so the cross-package index sees every declaration.
+func (a *Analyzer) AddPackage(path string, files ...*ast.File) {
+	a.pkgs = append(a.pkgs, &Package{Path: normPath(path), Files: files})
+}
+
+// normPath strips module and relative prefixes so paths compare as
+// "internal/kernel" regardless of how the caller spelled them.
+func normPath(p string) string {
+	p = strings.TrimPrefix(p, "./")
+	p = strings.TrimPrefix(p, "fastsocket/")
+	return p
+}
+
+// restricted reports whether the package must obey the determinism
+// and unit-hygiene rules.
+func restricted(path string) bool {
+	rest, ok := strings.CutPrefix(path, "internal/")
+	if !ok {
+		return false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return restrictedPkgs[rest]
+}
+
+// Run executes every rule and returns the unsuppressed findings,
+// sorted by position.
+func (a *Analyzer) Run() []Diagnostic {
+	a.idx = buildIndex(a.pkgs)
+	var out []Diagnostic
+	for _, pkg := range a.pkgs {
+		for _, file := range pkg.Files {
+			sup, supDiags := a.collectDirectives(file)
+			out = append(out, supDiags...)
+
+			fname := a.fset.Position(file.Pos()).Filename
+			isTest := strings.HasSuffix(fname, "_test.go")
+
+			var diags []Diagnostic
+			if restricted(pkg.Path) && !isTest {
+				diags = append(diags, a.checkDeterminism(pkg, file)...)
+				diags = append(diags, a.checkUnits(pkg, file)...)
+			}
+			diags = append(diags, a.checkLocks(pkg, file)...)
+
+			for _, d := range diags {
+				if !sup.suppressed(d.Pos.Line, d.Rule) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+func (a *Analyzer) diag(pos token.Pos, rule, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: a.fset.Position(pos), Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- Suppression directives ------------------------------------------
+
+// suppressor records which (line, rule) pairs are silenced in a file.
+type suppressor struct {
+	lines map[suppKey]bool
+}
+
+type suppKey struct {
+	line int
+	rule string
+}
+
+// suppressed reports whether a diagnostic at the given line is
+// silenced by a directive on the same line or the line above.
+func (s suppressor) suppressed(line int, rule string) bool {
+	return s.lines[suppKey{line, rule}] || s.lines[suppKey{line - 1, rule}]
+}
+
+const directivePrefix = "fslint:ignore"
+
+// collectDirectives parses //fslint:ignore comments. A directive must
+// name a known rule and give a non-empty reason; malformed directives
+// are themselves diagnostics (they silently protect nothing).
+func (a *Analyzer) collectDirectives(file *ast.File) (suppressor, []Diagnostic) {
+	sup := suppressor{lines: map[suppKey]bool{}}
+	var diags []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				diags = append(diags, a.diag(c.Pos(), RuleDirective,
+					"fslint:ignore needs a rule and a reason: //fslint:ignore <rule> <reason>"))
+				continue
+			case !knownRules[fields[0]]:
+				diags = append(diags, a.diag(c.Pos(), RuleDirective,
+					"fslint:ignore names unknown rule %q (known: determinism, locks, units)", fields[0]))
+				continue
+			case len(fields) < 2:
+				diags = append(diags, a.diag(c.Pos(), RuleDirective,
+					"fslint:ignore %s needs a reason", fields[0]))
+				continue
+			}
+			line := a.fset.Position(c.Pos()).Line
+			sup.lines[suppKey{line, fields[0]}] = true
+		}
+	}
+	return sup, diags
+}
+
+// --- Cross-package syntactic index -----------------------------------
+
+// index is the whole-repo symbol information the rules consult. It is
+// name-keyed and deliberately collision-tolerant: a false positive is
+// one suppression comment away, a false negative is an unchecked
+// invariant.
+type index struct {
+	// mapFields holds struct field names declared with a map type
+	// anywhere in the tree.
+	mapFields map[string]bool
+	// mapFuncs holds function/method names whose single result is a
+	// map type.
+	mapFuncs map[string]bool
+	// pkgMapVars holds package-level map variables per package path.
+	pkgMapVars map[string]map[string]bool
+	// timeParams maps a function/method name to which of its
+	// parameters are sim.Time (expanded per name in grouped fields).
+	timeParams map[string][]bool
+}
+
+func buildIndex(pkgs []*Package) *index {
+	idx := &index{
+		mapFields:  map[string]bool{},
+		mapFuncs:   map[string]bool{},
+		pkgMapVars: map[string]map[string]bool{},
+		timeParams: map[string][]bool{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			pkgName := file.Name.Name
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					idx.addGenDecl(pkg.Path, pkgName, d)
+				case *ast.FuncDecl:
+					idx.addFuncDecl(pkgName, d)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *index) addGenDecl(pkgPath, pkgName string, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				for _, f := range t.Fields.List {
+					if isMapType(f.Type) {
+						for _, n := range f.Names {
+							idx.mapFields[n.Name] = true
+						}
+					}
+				}
+			case *ast.InterfaceType:
+				for _, m := range t.Methods.List {
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok {
+						continue
+					}
+					for _, n := range m.Names {
+						idx.recordFuncType(pkgName, n.Name, ft)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if d.Tok != token.VAR {
+				continue
+			}
+			vars := idx.pkgMapVars[pkgPath]
+			record := func(name string) {
+				if vars == nil {
+					vars = map[string]bool{}
+					idx.pkgMapVars[pkgPath] = vars
+				}
+				vars[name] = true
+			}
+			if isMapType(s.Type) {
+				for _, n := range s.Names {
+					record(n.Name)
+				}
+				continue
+			}
+			for i, v := range s.Values {
+				if i < len(s.Names) && isMapLiteralOrMake(v) {
+					record(s.Names[i].Name)
+				}
+			}
+		}
+	}
+}
+
+func (idx *index) addFuncDecl(pkgName string, d *ast.FuncDecl) {
+	idx.recordFuncType(pkgName, d.Name.Name, d.Type)
+}
+
+// recordFuncType indexes map-returning functions and sim.Time
+// parameter positions under the bare function name.
+func (idx *index) recordFuncType(pkgName, name string, ft *ast.FuncType) {
+	if ft.Results != nil && len(ft.Results.List) == 1 &&
+		len(ft.Results.List[0].Names) <= 1 && isMapType(ft.Results.List[0].Type) {
+		idx.mapFuncs[name] = true
+	}
+	if ft.Params == nil {
+		return
+	}
+	var flags []bool
+	for _, f := range ft.Params.List {
+		isTime := isSimTimeType(f.Type, pkgName)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			flags = append(flags, isTime)
+		}
+	}
+	hasTime := false
+	for _, f := range flags {
+		hasTime = hasTime || f
+	}
+	if !hasTime {
+		return
+	}
+	// Merge with any same-named signature already seen (OR per slot):
+	// collisions across types are rare and merging only widens checks.
+	prev := idx.timeParams[name]
+	if len(prev) > len(flags) {
+		flags, prev = prev, flags
+	}
+	for i, f := range prev {
+		flags[i] = flags[i] || f
+	}
+	idx.timeParams[name] = flags
+}
+
+// --- Shared type heuristics -------------------------------------------
+
+func isMapType(e ast.Expr) bool {
+	_, ok := e.(*ast.MapType)
+	return ok
+}
+
+// isMapLiteralOrMake matches map[...]...{...} and make(map[...]...).
+func isMapLiteralOrMake(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return isMapType(v.Type)
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			return isMapType(v.Args[0])
+		}
+	}
+	return false
+}
+
+// isSimTimeType matches `sim.Time` and, inside package sim itself,
+// the bare `Time`.
+func isSimTimeType(e ast.Expr, pkgName string) bool {
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		id, ok := t.X.(*ast.Ident)
+		return ok && id.Name == "sim" && t.Sel.Name == "Time"
+	case *ast.Ident:
+		return pkgName == "sim" && t.Name == "Time"
+	}
+	return false
+}
+
+// exprString renders the expressions fslint needs to compare or quote
+// (lock receivers, context arguments). It is not a full printer.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[" + exprString(v.Index) + "]"
+	case *ast.CallExpr:
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = exprString(a)
+		}
+		return exprString(v.Fun) + "(" + strings.Join(args, ",") + ")"
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprString(v.X)
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "?"
+}
+
+// parseIntLit returns the value of an integer literal, ok=false for
+// anything else (including negative via unary minus, which callers
+// handle as a non-literal).
+func parseIntLit(e ast.Expr) (int64, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,463 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+type fixture struct {
+	path, name, src string
+}
+
+// runPkgs parses the fixtures (grouped by package path) and returns
+// rendered diagnostics.
+func runPkgs(t *testing.T, fixtures []fixture) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	a := New(fset)
+	byPath := map[string][]*ast.File{}
+	var order []string
+	for _, f := range fixtures {
+		parsed, err := parser.ParseFile(fset, f.name, f.src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", f.name, err)
+		}
+		if _, ok := byPath[f.path]; !ok {
+			order = append(order, f.path)
+		}
+		byPath[f.path] = append(byPath[f.path], parsed)
+	}
+	for _, path := range order {
+		a.AddPackage(path, byPath[path]...)
+	}
+	var out []string
+	for _, d := range a.Run() {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// run is the single-file convenience wrapper.
+func run(t *testing.T, path, src string) []string {
+	t.Helper()
+	return runPkgs(t, []fixture{{path: path, name: "fix.go", src: src}})
+}
+
+// expect asserts that each want[i] is a substring of got[i].
+func expect(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("diagnostic[%d] = %q, want it to contain %q", i, got[i], w)
+		}
+	}
+}
+
+const restrictedPath = "internal/sim"
+
+func TestDeterminismForbiddenImports(t *testing.T) {
+	got := run(t, restrictedPath, `package sim
+import (
+	"time"
+	"math/rand"
+	"sync"
+)
+var _ = time.Now
+var _ = rand.Int
+var _ = sync.Mutex{}
+`)
+	expect(t, got,
+		`[determinism] import "time"`,
+		`[determinism] import "math/rand"`,
+		`[determinism] import "sync"`)
+}
+
+func TestDeterminismImportsAllowedOutsideRestrictedPackages(t *testing.T) {
+	got := run(t, "internal/trace", `package trace
+import "time"
+var _ = time.Now
+`)
+	expect(t, got) // trace is not a restricted package
+}
+
+func TestDeterminismGoroutinesAndChannels(t *testing.T) {
+	got := run(t, restrictedPath, `package sim
+func f(ch chan int) {
+	go func() {}()
+	ch <- 1
+	<-ch
+	select {}
+}
+`)
+	expect(t, got,
+		"channel types are forbidden",
+		"goroutines are forbidden",
+		"channel sends are forbidden",
+		"channel receives are forbidden",
+		"select statements are forbidden")
+}
+
+func TestDeterminismMapRangeFlagged(t *testing.T) {
+	got := run(t, restrictedPath, `package sim
+func f(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	expect(t, got, "[determinism] iteration over map m")
+}
+
+func TestDeterminismMapRangeCollectAndSortAllowed(t *testing.T) {
+	got := run(t, restrictedPath, `package sim
+import "sort"
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`)
+	expect(t, got)
+}
+
+func TestDeterminismMapRangeCollectWithoutSortFlagged(t *testing.T) {
+	got := run(t, restrictedPath, `package sim
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`)
+	expect(t, got, "iteration over map m")
+}
+
+func TestDeterminismMapRangeViaLocalAndField(t *testing.T) {
+	got := run(t, restrictedPath, `package sim
+type table struct {
+	rows map[int]string
+}
+func f(tb *table) {
+	local := make(map[int]bool)
+	for range local {
+	}
+	for range tb.rows {
+	}
+}
+`)
+	expect(t, got,
+		"iteration over map local",
+		"iteration over map tb.rows")
+}
+
+func TestDeterminismMapRangeViaFunctionResultAcrossPackages(t *testing.T) {
+	got := runPkgs(t, []fixture{
+		{path: "internal/kernel", name: "kern.go", src: `package kernel
+func Contention() map[string]uint64 { return nil }
+`},
+		{path: "internal/experiment", name: "exp.go", src: `package experiment
+import "fastsocket/internal/kernel"
+func f() {
+	for range kernel.Contention() {
+	}
+	m := kernel.Contention()
+	for range m {
+	}
+}
+`},
+	})
+	expect(t, got,
+		"iteration over map kernel.Contention()",
+		"iteration over map m")
+}
+
+func TestDeterminismSuppression(t *testing.T) {
+	got := run(t, restrictedPath, `package sim
+func f(m map[string]int) int {
+	total := 0
+	//fslint:ignore determinism summing ints is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	expect(t, got)
+}
+
+func TestDeterminismSkipsTestFiles(t *testing.T) {
+	got := runPkgs(t, []fixture{{path: restrictedPath, name: "fix_test.go", src: `package sim
+func f(m map[string]int) {
+	for range m {
+	}
+}
+`}})
+	expect(t, got)
+}
+
+func TestDirectiveValidation(t *testing.T) {
+	got := run(t, restrictedPath, `package sim
+//fslint:ignore
+func a() {}
+//fslint:ignore bogusrule some reason
+func b() {}
+//fslint:ignore determinism
+func c() {}
+`)
+	expect(t, got,
+		"needs a rule and a reason",
+		`unknown rule "bogusrule"`,
+		"needs a reason")
+}
+
+func TestLocksBalancedAcquireRelease(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx) {
+	l.Acquire(c)
+	work()
+	l.Release(c)
+}
+`)
+	expect(t, got)
+}
+
+func TestLocksMissingRelease(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx) {
+	l.Acquire(c)
+	work()
+}
+`)
+	expect(t, got, "lock l(c) is still held when the function ends")
+}
+
+func TestLocksMissingReleaseOnOneReturnPath(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx, bad bool) int {
+	l.Acquire(c)
+	if bad {
+		return -1
+	}
+	l.Release(c)
+	return 0
+}
+`)
+	expect(t, got, "lock l(c) is not released on a return path (return at line 5)")
+}
+
+func TestLocksReleaseInBothBranches(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx, bad bool) int {
+	l.Acquire(c)
+	if bad {
+		l.Release(c)
+		return -1
+	}
+	l.Release(c)
+	return 0
+}
+`)
+	expect(t, got)
+}
+
+func TestLocksDeferReleaseCoversAllPaths(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx, bad bool) int {
+	l.Acquire(c)
+	defer l.Release(c)
+	if bad {
+		return -1
+	}
+	return 0
+}
+`)
+	expect(t, got)
+}
+
+func TestLocksReacquireWithoutRelease(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx) {
+	l.Acquire(c)
+	l.Acquire(c)
+	l.Release(c)
+	l.Release(c)
+}
+`)
+	expect(t, got, "lock l(c) acquired again while already held (first acquired at line 3)")
+}
+
+func TestLocksAcquireInLoopWithoutRelease(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx, n int) {
+	for i := 0; i < n; i++ {
+		l.Acquire(c)
+		work()
+	}
+}
+`)
+	expect(t, got, "lock l(c) acquired inside a loop is not released before the next iteration")
+}
+
+func TestLocksBalancedLoopBodyOK(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx, n int) {
+	for i := 0; i < n; i++ {
+		l.Acquire(c)
+		work()
+		l.Release(c)
+	}
+}
+`)
+	expect(t, got)
+}
+
+func TestLocksTryAcquireGuards(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func ok1(l *Lock, c Ctx) {
+	if l.TryAcquire(c) {
+		work()
+		l.Release(c)
+	}
+}
+func ok2(l *Lock, c Ctx) {
+	if !l.TryAcquire(c) {
+		return
+	}
+	work()
+	l.Release(c)
+}
+func bad(l *Lock, c Ctx) {
+	if l.TryAcquire(c) {
+		work()
+	}
+}
+`)
+	expect(t, got, "lock l(c) from TryAcquire is not released inside the guarded branch")
+}
+
+func TestLocksDistinctContextsTrackSeparately(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, a, b Ctx) {
+	l.Acquire(a)
+	l.Acquire(b)
+	l.Release(a)
+	l.Release(b)
+}
+`)
+	expect(t, got)
+}
+
+func TestLocksFuncLitAnalyzedIndependently(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx) {
+	submit(func() {
+		l.Acquire(c)
+	})
+}
+`)
+	expect(t, got, "lock l(c) is still held when the function ends")
+}
+
+func TestLocksSuppression(t *testing.T) {
+	got := run(t, "internal/ktimer", `package ktimer
+func f(l *Lock, c Ctx) {
+	//fslint:ignore locks acquires on behalf of the caller
+	l.Acquire(c)
+}
+`)
+	expect(t, got)
+}
+
+func TestLocksAppliesToTestFilesAndUnrestrictedPackages(t *testing.T) {
+	got := runPkgs(t, []fixture{{path: "examples/demo", name: "fix_test.go", src: `package demo
+func f(l *Lock, c Ctx) {
+	l.Acquire(c)
+}
+`}})
+	expect(t, got, "still held when the function ends")
+}
+
+func TestUnitsBareLiteralFlagged(t *testing.T) {
+	got := runPkgs(t, []fixture{
+		{path: "internal/sim", name: "sim.go", src: `package sim
+type Time int64
+const Microsecond Time = 1000
+func (l *Loop) RunUntil(t Time) {}
+type Loop struct{}
+`},
+		{path: "internal/kernel", name: "kern.go", src: `package kernel
+import "fastsocket/internal/sim"
+func f(loop *sim.Loop) {
+	loop.RunUntil(5000)
+	loop.RunUntil(900)
+	loop.RunUntil(5 * sim.Microsecond)
+}
+`},
+	})
+	expect(t, got, "bare integer 5000 passed as sim.Time to RunUntil")
+}
+
+func TestUnitsSuppression(t *testing.T) {
+	got := runPkgs(t, []fixture{
+		{path: "internal/sim", name: "sim.go", src: `package sim
+type Time int64
+func Wait(t Time) {}
+`},
+		{path: "internal/kernel", name: "kern.go", src: `package kernel
+import "fastsocket/internal/sim"
+func f() {
+	//fslint:ignore units calibrated raw nanosecond value
+	sim.Wait(123456)
+}
+`},
+	})
+	expect(t, got)
+}
+
+func TestUnitsOnlyInRestrictedNonTestCode(t *testing.T) {
+	got := runPkgs(t, []fixture{
+		{path: "internal/sim", name: "sim.go", src: `package sim
+type Time int64
+func Wait(t Time) {}
+`},
+		{path: "examples/demo", name: "demo.go", src: `package demo
+import "fastsocket/internal/sim"
+func f() { sim.Wait(123456) }
+`},
+	})
+	expect(t, got)
+}
+
+func TestRestrictedPathMatching(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"internal/sim", true},
+		{"./internal/kernel", false}, // normalized by AddPackage, not here
+		{"internal/analysis", false},
+		{"internal/app", false},
+		{"cmd/fslint", false},
+		{"internal/experiment", true},
+	}
+	for _, c := range cases {
+		if got := restricted(c.path); got != c.want {
+			t.Errorf("restricted(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	if !restricted(normPath("./fastsocket/internal/lock")) {
+		t.Error("normPath + restricted failed on prefixed path")
+	}
+}

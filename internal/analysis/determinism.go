@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// checkDeterminism enforces the single-threaded, bit-reproducible
+// execution model on a restricted package's file: no wall-clock or
+// host-randomness imports, no goroutines, no channel machinery, and no
+// map iteration whose order can leak into results.
+func (a *Analyzer) checkDeterminism(pkg *Package, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if why, bad := forbiddenImports[path]; bad {
+			diags = append(diags, a.diag(imp.Pos(), RuleDeterminism,
+				"import %q is forbidden in deterministic simulation packages (%s)", path, why))
+		}
+	}
+
+	// Channel types can appear anywhere: parameters, struct fields,
+	// type declarations, make calls. One file-wide pass catches all.
+	ast.Inspect(file, func(n ast.Node) bool {
+		if ch, ok := n.(*ast.ChanType); ok {
+			diags = append(diags, a.diag(ch.Pos(), RuleDeterminism,
+				"channel types are forbidden in deterministic simulation packages"))
+		}
+		return true
+	})
+
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		diags = append(diags, a.checkDeterminismFunc(pkg, file, fn)...)
+	}
+	return diags
+}
+
+func (a *Analyzer) checkDeterminismFunc(pkg *Package, file *ast.File, fn *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	mapVars := collectLocalMapVars(pkg, a.idx, fn)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			diags = append(diags, a.diag(v.Pos(), RuleDeterminism,
+				"goroutines are forbidden: the simulation is single-threaded"))
+		case *ast.SelectStmt:
+			diags = append(diags, a.diag(v.Pos(), RuleDeterminism,
+				"select statements are forbidden in deterministic simulation packages"))
+		case *ast.SendStmt:
+			diags = append(diags, a.diag(v.Pos(), RuleDeterminism,
+				"channel sends are forbidden in deterministic simulation packages"))
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				diags = append(diags, a.diag(v.Pos(), RuleDeterminism,
+					"channel receives are forbidden in deterministic simulation packages"))
+			}
+		case *ast.RangeStmt:
+			if a.exprIsMap(pkg, mapVars, v.X) {
+				if d, bad := a.checkMapRange(fn, v); bad {
+					diags = append(diags, d)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// collectLocalMapVars scans a function for identifiers that are
+// map-typed by declaration or by assignment from a map expression:
+// parameters, receivers, `var x map[...]`, `x := make(map[...])`,
+// `x := map[...]{...}`, and `x := <call returning map>`.
+func collectLocalMapVars(pkg *Package, idx *index, fn *ast.FuncDecl) map[string]bool {
+	vars := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if isMapType(f.Type) {
+				for _, n := range f.Names {
+					vars[n.Name] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := v.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if isMapType(vs.Type) {
+					for _, name := range vs.Names {
+						vars[name.Name] = true
+					}
+					continue
+				}
+				for i, val := range vs.Values {
+					if i < len(vs.Names) && isMapLiteralOrMake(val) {
+						vars[vs.Names[i].Name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if i >= len(v.Lhs) {
+					break
+				}
+				lhs, ok := v.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isMapLiteralOrMake(rhs) || isMapReturningCall(idx, rhs) {
+					vars[lhs.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+func isMapReturningCall(idx *index, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return idx.mapFuncs[fun.Name]
+	case *ast.SelectorExpr:
+		return idx.mapFuncs[fun.Sel.Name]
+	}
+	return false
+}
+
+// exprIsMap reports whether a ranged expression is (syntactically
+// recognizable as) a map.
+func (a *Analyzer) exprIsMap(pkg *Package, mapVars map[string]bool, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return a.exprIsMap(pkg, mapVars, v.X)
+	case *ast.Ident:
+		return mapVars[v.Name] || a.idx.pkgMapVars[pkg.Path][v.Name]
+	case *ast.SelectorExpr:
+		return a.idx.mapFields[v.Sel.Name]
+	case *ast.CompositeLit:
+		return isMapType(v.Type)
+	case *ast.CallExpr:
+		return isMapLiteralOrMake(e) || isMapReturningCall(a.idx, e)
+	}
+	return false
+}
+
+// checkMapRange decides whether a range over a map is acceptable: the
+// body may do nothing but append elements to slices, and at least one
+// of those slices must be sorted later in the same function. Anything
+// else makes iteration order observable and must be rewritten over
+// sorted keys (or carry an //fslint:ignore determinism <reason>).
+func (a *Analyzer) checkMapRange(fn *ast.FuncDecl, rng *ast.RangeStmt) (Diagnostic, bool) {
+	targets, onlyAppends := sliceAppendTargets(rng.Body)
+	if onlyAppends && len(targets) > 0 && sortedAfter(fn.Body, rng.End(), targets) {
+		return Diagnostic{}, false
+	}
+	return a.diag(rng.Pos(), RuleDeterminism,
+		"iteration over map %s: order is nondeterministic; collect into a slice and sort it, "+
+			"or iterate sorted keys", exprString(rng.X)), true
+}
+
+// sliceAppendTargets reports the slice variables a loop body appends
+// to, and whether the body does nothing else (modulo if-guards and
+// continue statements).
+func sliceAppendTargets(body *ast.BlockStmt) (map[string]bool, bool) {
+	targets := map[string]bool{}
+	ok := true
+	var visit func(list []ast.Stmt)
+	visit = func(list []ast.Stmt) {
+		for _, stmt := range list {
+			switch s := stmt.(type) {
+			case *ast.AssignStmt:
+				if !appendOnlyAssign(s, targets) {
+					ok = false
+				}
+			case *ast.IfStmt:
+				visit(s.Body.List)
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					visit(e.List)
+				case *ast.IfStmt:
+					visit([]ast.Stmt{e})
+				case nil:
+				default:
+					ok = false
+				}
+			case *ast.BranchStmt:
+				if s.Tok != token.CONTINUE {
+					ok = false
+				}
+			case *ast.EmptyStmt:
+			default:
+				ok = false
+			}
+		}
+	}
+	visit(body.List)
+	return targets, ok
+}
+
+// appendOnlyAssign matches `x = append(x, ...)` (and multi-assign
+// variants where every pair has that shape), recording targets.
+func appendOnlyAssign(s *ast.AssignStmt, targets map[string]bool) bool {
+	if len(s.Lhs) != len(s.Rhs) {
+		return false
+	}
+	for i := range s.Lhs {
+		lhs, ok := s.Lhs[i].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := s.Rhs[i].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || first.Name != lhs.Name {
+			return false
+		}
+		targets[lhs.Name] = true
+	}
+	return true
+}
+
+// sortedAfter reports whether some sort/slices call after pos touches
+// one of the target slices.
+func sortedAfter(body *ast.BlockStmt, pos token.Pos, targets map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && targets[id.Name] {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,445 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// checkLocks enforces AST-level Acquire/Release pairing for SpinLocks
+// (and anything with the same method shape). Within one function
+// body, every `x.Acquire(ctx)` or `x.TryAcquire(ctx)` must be matched
+// by `x.Release(ctx)` — directly or via defer — on every return path,
+// and an acquisition inside a loop must be released before the next
+// iteration. The checker walks the statement tree with a held-lock
+// set, intersecting branch outcomes; it is deliberately conservative
+// and path-insensitive beyond if/switch/loop structure, with
+// //fslint:ignore locks <reason> as the escape hatch for functions
+// that intentionally acquire on behalf of their caller.
+func (a *Analyzer) checkLocks(pkg *Package, file *ast.File) []Diagnostic {
+	c := &lockChecker{a: a, reported: map[string]bool{}}
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+			c.checkFunc(fn.Body)
+		}
+	}
+	return c.diags
+}
+
+type lockChecker struct {
+	a        *Analyzer
+	diags    []Diagnostic
+	reported map[string]bool // dedupe key: acquire position + lock key
+}
+
+// lockState is the set of locks held at a program point. Keys are
+// "recv(ctx)" strings, e.g. "sk.Slock(t)", so the same lock taken
+// with two different contexts (as lock tests do) tracks separately.
+type lockState struct {
+	held     map[string]token.Pos
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	n := newLockState()
+	for k, v := range s.held {
+		n.held[k] = v
+	}
+	for k := range s.deferred {
+		n.deferred[k] = true
+	}
+	return n
+}
+
+func (s *lockState) heldKeys() []string {
+	keys := make([]string, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+const (
+	opNone = iota
+	opAcquire
+	opTryAcquire
+	opRelease
+)
+
+// lockOp classifies a call expression as a lock operation. Only
+// single-argument method calls named Acquire/TryAcquire/Release are
+// considered, which excludes unrelated methods like FDTable.Release
+// only when shapes differ — the key includes the receiver text, so
+// an unmatched foreign Release is simply ignored.
+func lockOp(e ast.Expr) (op int, key string, pos token.Pos) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return opNone, "", token.NoPos
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, "", token.NoPos
+	}
+	switch sel.Sel.Name {
+	case "Acquire":
+		op = opAcquire
+	case "TryAcquire":
+		op = opTryAcquire
+	case "Release":
+		op = opRelease
+	default:
+		return opNone, "", token.NoPos
+	}
+	key = exprString(sel.X) + "(" + exprString(call.Args[0]) + ")"
+	return op, key, call.Pos()
+}
+
+func (c *lockChecker) report(pos token.Pos, key, format string, args ...any) {
+	d := c.a.diag(pos, RuleLocks, format, args...)
+	dedupe := d.Pos.Filename + ":" + key + ":" + d.Msg
+	if c.reported[dedupe] {
+		return
+	}
+	c.reported[dedupe] = true
+	c.diags = append(c.diags, d)
+}
+
+// checkFunc analyzes one function (or function literal) body with a
+// fresh held-lock state.
+func (c *lockChecker) checkFunc(body *ast.BlockStmt) {
+	st := newLockState()
+	terminated := c.block(body.List, st)
+	if terminated {
+		return
+	}
+	for _, key := range st.heldKeys() {
+		c.report(st.held[key], key,
+			"lock %s is still held when the function ends: missing Release", key)
+	}
+}
+
+// block processes a statement list, mutating st. It returns true if
+// control cannot fall off the end (return / panic / t.Fatal).
+func (c *lockChecker) block(list []ast.Stmt, st *lockState) bool {
+	for _, stmt := range list {
+		if c.stmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement; returns true if it terminates control
+// flow in this block.
+func (c *lockChecker) stmt(stmt ast.Stmt, st *lockState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.scanFuncLits(s.X)
+		if op, key, pos := lockOp(s.X); op != opNone {
+			c.apply(op, key, pos, st)
+		}
+		return terminatingCall(s.X)
+
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.scanFuncLits(rhs)
+		}
+		return false
+
+	case *ast.DeclStmt, *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.checkFunc(lit.Body)
+				return false
+			}
+			return true
+		})
+		return false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scanFuncLits(r)
+		}
+		for _, key := range st.heldKeys() {
+			c.report(st.held[key], key,
+				"lock %s is not released on a return path (return at line %d)",
+				key, c.a.fset.Position(s.Pos()).Line)
+		}
+		return true
+
+	case *ast.DeferStmt:
+		if op, key, _ := lockOp(s.Call); op == opRelease {
+			delete(st.held, key)
+			st.deferred[key] = true
+			return false
+		}
+		// defer func() { ... Release ... }(): scan the literal for
+		// releases, then analyze it as its own function too.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if op, key, _ := lockOp(call); op == opRelease {
+						delete(st.held, key)
+						st.deferred[key] = true
+					}
+				}
+				return true
+			})
+			c.checkFunc(lit.Body)
+		}
+		return false
+
+	case *ast.BlockStmt:
+		return c.block(s.List, st)
+
+	case *ast.IfStmt:
+		return c.ifStmt(s, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.loopBody(s.Body, st)
+		return false
+
+	case *ast.RangeStmt:
+		c.scanFuncLits(s.X)
+		c.loopBody(s.Body, st)
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		return c.caseClauses(s.Body, st, hasDefaultClause(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		return c.caseClauses(s.Body, st, hasDefaultClause(s.Body))
+
+	case *ast.SelectStmt:
+		// Forbidden in restricted packages anyway; analyze each comm
+		// body independently without merging.
+		for _, cc := range s.Body.List {
+			if comm, ok := cc.(*ast.CommClause); ok {
+				c.block(comm.Body, st.clone())
+			}
+		}
+		return false
+
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+
+	case *ast.BranchStmt:
+		// break/continue/goto: path merging across these is beyond the
+		// AST-level check; treat as non-terminating.
+		return false
+	}
+	return false
+}
+
+// apply mutates the state for one lock operation and reports
+// re-acquisition without an intervening release.
+func (c *lockChecker) apply(op int, key string, pos token.Pos, st *lockState) {
+	switch op {
+	case opAcquire, opTryAcquire:
+		if prev, ok := st.held[key]; ok {
+			c.report(pos, key,
+				"lock %s acquired again while already held (first acquired at line %d)",
+				key, c.a.fset.Position(prev).Line)
+			return
+		}
+		if st.deferred[key] {
+			return // a deferred Release already covers every path
+		}
+		st.held[key] = pos
+	case opRelease:
+		delete(st.held, key)
+	}
+}
+
+// ifStmt handles branch merging and the two TryAcquire guard idioms:
+//
+//	if l.TryAcquire(c) { ... }   // held only inside the then-branch
+//	if !l.TryAcquire(c) { ... }  // held after the statement
+func (c *lockChecker) ifStmt(s *ast.IfStmt, st *lockState) bool {
+	if s.Init != nil {
+		c.stmt(s.Init, st)
+	}
+	tryKey, tryPos, negated, isTry := tryAcquireCond(s.Cond)
+
+	thenSt := st.clone()
+	if isTry && !negated {
+		thenSt.held[tryKey] = tryPos
+	}
+	thenTerm := c.block(s.Body.List, thenSt)
+	if isTry && !negated && !thenTerm {
+		// Falling out of a successful-TryAcquire guard still holding
+		// the lock leaks it: later statements run on both outcomes.
+		if _, stillHeld := thenSt.held[tryKey]; stillHeld {
+			c.report(tryPos, tryKey,
+				"lock %s from TryAcquire is not released inside the guarded branch", tryKey)
+			delete(thenSt.held, tryKey)
+		}
+	}
+
+	elseSt := st.clone()
+	if isTry && negated {
+		elseSt.held[tryKey] = tryPos
+	}
+	elseTerm := false
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		elseTerm = c.block(e.List, elseSt)
+	case *ast.IfStmt:
+		elseTerm = c.ifStmt(e, elseSt)
+	case nil:
+		if isTry && negated {
+			// `if !l.TryAcquire(c) { bail }`: falling through the
+			// statement means the acquisition succeeded.
+			elseTerm = false
+		}
+	}
+
+	switch {
+	case thenTerm && elseTerm:
+		*st = *elseSt // unreachable; keep something consistent
+		return true
+	case thenTerm:
+		*st = *elseSt
+	case elseTerm:
+		*st = *thenSt
+	default:
+		merged := newLockState()
+		for k, v := range thenSt.held {
+			if _, ok := elseSt.held[k]; ok {
+				merged.held[k] = v
+			}
+		}
+		for k := range thenSt.deferred {
+			merged.deferred[k] = true
+		}
+		for k := range elseSt.deferred {
+			merged.deferred[k] = true
+		}
+		*st = *merged
+	}
+	return false
+}
+
+// tryAcquireCond matches `x.TryAcquire(c)` and `!x.TryAcquire(c)`
+// conditions.
+func tryAcquireCond(cond ast.Expr) (key string, pos token.Pos, negated, ok bool) {
+	if u, isNot := cond.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		negated = true
+		cond = u.X
+	}
+	op, key, pos := lockOp(cond)
+	if op != opTryAcquire {
+		return "", token.NoPos, false, false
+	}
+	return key, pos, negated, true
+}
+
+// loopBody analyzes a loop body and flags acquisitions that survive
+// to the next iteration.
+func (c *lockChecker) loopBody(body *ast.BlockStmt, st *lockState) {
+	bodySt := st.clone()
+	c.block(body.List, bodySt)
+	for _, key := range bodySt.heldKeys() {
+		if _, outer := st.held[key]; !outer {
+			c.report(bodySt.held[key], key,
+				"lock %s acquired inside a loop is not released before the next iteration", key)
+		}
+	}
+}
+
+// caseClauses merges switch branches like parallel if-branches.
+func (c *lockChecker) caseClauses(body *ast.BlockStmt, st *lockState, hasDefault bool) bool {
+	var outs []*lockState
+	allTerm := len(body.List) > 0
+	for _, cc := range body.List {
+		clause, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cs := st.clone()
+		if !c.block(clause.Body, cs) {
+			outs = append(outs, cs)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st.clone())
+		allTerm = false
+	}
+	if allTerm {
+		return true
+	}
+	merged := newLockState()
+	if len(outs) > 0 {
+		for k, v := range outs[0].held {
+			inAll := true
+			for _, o := range outs[1:] {
+				if _, ok := o.held[k]; !ok {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				merged.held[k] = v
+			}
+		}
+		for _, o := range outs {
+			for k := range o.deferred {
+				merged.deferred[k] = true
+			}
+		}
+	}
+	*st = *merged
+	return false
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cc := range body.List {
+		if clause, ok := cc.(*ast.CaseClause); ok && clause.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanFuncLits analyzes function literals appearing in an expression
+// as independent functions (their lock pairing is their own).
+func (c *lockChecker) scanFuncLits(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.checkFunc(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// terminatingCall recognizes calls after which control does not
+// return to this block: panic, os.Exit, log/testing fatals.
+func terminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Exit", "Fatalln", "SkipNow", "Skipf", "Skip":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// maxBareTime is the largest bare integer literal accepted as a
+// sim.Time argument. Anything above 1us should be spelled with a unit
+// constant (2*sim.Microsecond) or a named cost from
+// internal/kernel/costs.go, so a reader can tell nanoseconds from
+// microseconds at the call site.
+const maxBareTime = 1000
+
+// checkUnits flags bare integer literals > 1000 passed where the
+// whole-repo index says a sim.Time parameter is expected. Composite
+// literals (like the calibrated table in costs.go) are exempt: they
+// are where the named values are defined.
+func (a *Analyzer) checkUnits(pkg *Package, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		default:
+			return true
+		}
+		params := a.idx.timeParams[name]
+		if params == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i >= len(params) || !params[i] {
+				continue
+			}
+			if v, isLit := parseIntLit(arg); isLit && v > maxBareTime {
+				diags = append(diags, a.diag(arg.Pos(), RuleUnits,
+					"bare integer %d passed as sim.Time to %s: use a unit constant "+
+						"(e.g. %d*sim.Microsecond) or a named cost", v, name, v/1000))
+			}
+		}
+		return true
+	})
+	return diags
+}

@@ -74,8 +74,15 @@ func (c *asciiChart) render() string {
 // Chart renders the Figure 4 sweep as an ASCII plot.
 func (r Figure4Result) Chart() string {
 	c := newChart("connections/s")
-	markers := map[string]byte{"base-2.6.32": 'b', "linux-3.13": 'l', "fastsocket": 'F'}
-	for label, m := range markers {
+	// Series order is fixed: markers drawn later overwrite earlier ones
+	// on grid collisions, so iterating a map here would make the
+	// rendered chart nondeterministic.
+	markers := []struct {
+		label string
+		mark  byte
+	}{{"base-2.6.32", 'b'}, {"linux-3.13", 'l'}, {"fastsocket", 'F'}}
+	for _, s := range markers {
+		label, m := s.label, s.mark
 		var xs, ys []float64
 		for _, row := range r.Rows {
 			xs = append(xs, float64(row.Cores))

@@ -197,8 +197,9 @@ func measureBed(tb *testbed, o Options) Measurement {
 		m.LocalPct = 100 * float64(st.ActiveLocal-startStats.ActiveLocal) / float64(d)
 	}
 	m.LockContended = map[string]uint64{}
-	for name, n := range tb.k.LockContention() {
-		m.LockContended[name] = n - startLocks[name]
+	endLocks := tb.k.LockContention()
+	for _, name := range kernel.LockNames {
+		m.LockContended[name] = endLocks[name] - startLocks[name]
 	}
 	m.SoftSteers = st.SoftSteers - startStats.SoftSteers
 	m.P99Latency = tb.client.Latencies.Percentile(99)

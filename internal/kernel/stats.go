@@ -25,6 +25,9 @@ var LockNames = []string{
 // accumulated into slockAgg.
 func (k *Kernel) slockLive() lock.Stats {
 	var s lock.Stats
+	// Summing counters is commutative, so the iteration order of
+	// flowHome cannot reach the result.
+	//fslint:ignore determinism order-independent sum of lock counters
 	for _, e := range k.flowHome {
 		addLockStats(&s, e.sk.Slock.Stats())
 	}
@@ -38,7 +41,8 @@ func (k *Kernel) slockLive() lock.Stats {
 		if lex == nil {
 			continue
 		}
-		for _, clone := range lex.clones {
+		for _, core := range sortedKeys(lex.clones) {
+			clone := lex.clones[core]
 			if !seen[clone] {
 				seen[clone] = true
 				addLockStats(&s, clone.Slock.Stats())
@@ -46,6 +50,17 @@ func (k *Kernel) slockLive() lock.Stats {
 		}
 	}
 	return s
+}
+
+// sortedKeys returns a clone map's core ids in ascending order, so
+// aggregation walks the map deterministically.
+func sortedKeys(m map[int]*tcp.Sock) []int {
+	keys := make([]int, 0, len(m))
+	for core := range m {
+		keys = append(keys, core)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // LockStats returns the lockstat table for this kernel.

@@ -187,6 +187,7 @@ func (l *SpinLock) insert(start, end sim.Time) {
 // until the timeline has a free slot. Panics on recursive acquisition
 // by the same context.
 func (l *SpinLock) Acquire(c Context) {
+	lockdepAcquire(l, c)
 	for _, h := range l.holds {
 		if h.c == c {
 			panic("lock: recursive acquisition of " + l.name)
@@ -264,6 +265,7 @@ func (l *SpinLock) noteAcquire(core int, at sim.Time) {
 // virtual time, so the effective hold duration is whatever the holder
 // charged between Acquire and Release.
 func (l *SpinLock) Release(c Context) {
+	lockdepRelease(l, c)
 	idx := -1
 	for i, h := range l.holds {
 		if h.c == c {
@@ -300,6 +302,7 @@ func (l *SpinLock) TryAcquire(c Context) bool {
 	if l.slotAt(c.Now()) > c.Now() {
 		return false
 	}
+	//fslint:ignore locks acquires on behalf of the caller, who must Release
 	l.Acquire(c)
 	return true
 }

@@ -1,0 +1,119 @@
+package lock
+
+import "fmt"
+
+// Runtime lockdep: a dynamic complement to the fslint static checks.
+//
+// The static analyzer pairs Acquire/Release at the AST level; lockdep
+// watches the lock model at run time and records the discipline
+// violations only execution can see:
+//
+//   - double acquisition of the same lock by the same context,
+//   - release of a lock the context does not hold,
+//   - lock-order inversions: context X takes A then B while some
+//     earlier context took B then A. In a real kernel that pair is a
+//     deadlock candidate; in the simulation it means lockstat hold
+//     and wait attribution is no longer comparable across kernels.
+//
+// Like Linux's lockdep it works on lock *names*, so all shards of a
+// Sharded lock validate as one class; same-name pairs are skipped
+// (nested shard acquisition of one class has no canonical order).
+//
+// Everything here is deterministic: violations are recorded in
+// detection order, maps are used for membership only, and the whole
+// simulation is single-threaded — so the tracker needs no real
+// synchronization.
+type lockdepState struct {
+	enabled bool
+	// held tracks, per context, the locks currently held, in
+	// acquisition order.
+	held map[Context][]*SpinLock
+	// edges is the set of observed name orderings "A->B", membership
+	// queries only.
+	edges map[[2]string]bool
+	// violations in detection order; seen dedupes repeats so a hot
+	// path cannot flood the report.
+	violations []string
+	seen       map[string]bool
+}
+
+var lockdep lockdepState
+
+// EnableLockdep resets the tracker and starts recording. Tests enable
+// it to assert a run is discipline-clean (or that a seeded violation
+// is caught).
+func EnableLockdep() {
+	lockdep = lockdepState{
+		enabled: true,
+		held:    map[Context][]*SpinLock{},
+		edges:   map[[2]string]bool{},
+		seen:    map[string]bool{},
+	}
+}
+
+// DisableLockdep stops recording and drops all state.
+func DisableLockdep() {
+	lockdep = lockdepState{}
+}
+
+// LockdepEnabled reports whether the tracker is active.
+func LockdepEnabled() bool { return lockdep.enabled }
+
+// LockdepViolations returns the recorded violations in detection
+// order (deterministic under a deterministic simulation).
+func LockdepViolations() []string {
+	return append([]string(nil), lockdep.violations...)
+}
+
+func lockdepViolation(format string, args ...any) {
+	v := fmt.Sprintf(format, args...)
+	if lockdep.seen[v] {
+		return
+	}
+	lockdep.seen[v] = true
+	lockdep.violations = append(lockdep.violations, v)
+}
+
+// lockdepAcquire runs at the top of Acquire, before the model's own
+// recursive-acquisition panic, so the report survives a recover().
+func lockdepAcquire(l *SpinLock, c Context) {
+	if !lockdep.enabled {
+		return
+	}
+	held := lockdep.held[c]
+	for _, h := range held {
+		if h == l {
+			lockdepViolation("lockdep: double acquire of %s by one context", l.name)
+		}
+		if h.name == l.name {
+			continue
+		}
+		if lockdep.edges[[2]string{l.name, h.name}] {
+			lockdepViolation("lockdep: lock order inversion: %s -> %s, but %s -> %s was also observed",
+				h.name, l.name, l.name, h.name)
+		}
+		lockdep.edges[[2]string{h.name, l.name}] = true
+	}
+	lockdep.held[c] = append(held, l)
+}
+
+// lockdepRelease runs at the top of Release, before the non-holder
+// panic.
+func lockdepRelease(l *SpinLock, c Context) {
+	if !lockdep.enabled {
+		return
+	}
+	held := lockdep.held[c]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == l {
+			held = append(held[:i], held[i+1:]...)
+			if len(held) == 0 {
+				delete(lockdep.held, c)
+			} else {
+				lockdep.held[c] = held
+			}
+			return
+		}
+	}
+	lockdepViolation("lockdep: release of %s while not held", l.name)
+}

@@ -1,0 +1,136 @@
+package lock
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectViolation asserts that exactly the substrings in want appear,
+// in order, in the lockdep report.
+func expectViolation(t *testing.T, want ...string) {
+	t.Helper()
+	got := LockdepViolations()
+	if len(got) != len(want) {
+		t.Fatalf("lockdep recorded %d violations %q, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("violation[%d] = %q, want it to mention %q", i, got[i], w)
+		}
+	}
+}
+
+func TestLockdepCleanRun(t *testing.T) {
+	EnableLockdep()
+	defer DisableLockdep()
+	a := New("a", 0)
+	b := New("b", 0)
+	c := &fakeCtx{}
+	a.Acquire(c)
+	b.Acquire(c)
+	b.Release(c)
+	a.Release(c)
+	// Same order again, different context: still consistent.
+	c2 := &fakeCtx{now: 500, core: 1}
+	a.Acquire(c2)
+	b.Acquire(c2)
+	b.Release(c2)
+	a.Release(c2)
+	expectViolation(t) // none
+	if len(lockdep.held) != 0 {
+		t.Errorf("held map not drained: %d contexts", len(lockdep.held))
+	}
+}
+
+func TestLockdepCatchesDoubleAcquire(t *testing.T) {
+	EnableLockdep()
+	defer DisableLockdep()
+	l := New("dbl", 0)
+	c := &fakeCtx{}
+	//fslint:ignore locks intentional double acquire to exercise lockdep
+	l.Acquire(c)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double acquire did not panic")
+			}
+		}()
+		// The model panics on recursive acquisition, but lockdep must
+		// have recorded the violation first.
+		//fslint:ignore locks intentional double acquire to exercise lockdep
+		l.Acquire(c)
+	}()
+	expectViolation(t, "double acquire of dbl")
+}
+
+func TestLockdepCatchesReleaseWhileUnheld(t *testing.T) {
+	EnableLockdep()
+	defer DisableLockdep()
+	l := New("unheld", 0)
+	c := &fakeCtx{}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("release by non-holder did not panic")
+			}
+		}()
+		l.Release(c)
+	}()
+	expectViolation(t, "release of unheld while not held")
+}
+
+func TestLockdepCatchesOrderInversion(t *testing.T) {
+	EnableLockdep()
+	defer DisableLockdep()
+	a := New("icsk", 0)
+	b := New("ehash", 0)
+
+	c1 := &fakeCtx{core: 0}
+	a.Acquire(c1)
+	b.Acquire(c1) // establishes icsk -> ehash
+	b.Release(c1)
+	a.Release(c1)
+
+	c2 := &fakeCtx{now: 1000, core: 1}
+	b.Acquire(c2)
+	a.Acquire(c2) // ehash -> icsk: inversion
+	a.Release(c2)
+	b.Release(c2)
+
+	expectViolation(t, "lock order inversion: ehash -> icsk")
+}
+
+func TestLockdepShardsShareAClass(t *testing.T) {
+	// Two shards of one Sharded lock have the same name; nesting them
+	// must not report an inversion (there is no canonical order within
+	// a class), but distinct names still do.
+	EnableLockdep()
+	defer DisableLockdep()
+	s := NewSharded("ehash", 4, 0)
+	c := &fakeCtx{}
+	l0, l1 := s.Shard(0), s.Shard(1)
+	l0.Acquire(c)
+	l1.Acquire(c)
+	l1.Release(c)
+	l0.Release(c)
+	c2 := &fakeCtx{now: 2000, core: 1}
+	l1.Acquire(c2)
+	l0.Acquire(c2)
+	l0.Release(c2)
+	l1.Release(c2)
+	expectViolation(t) // none
+}
+
+func TestLockdepDisabledIsFree(t *testing.T) {
+	DisableLockdep()
+	l := New("off", 0)
+	c := &fakeCtx{}
+	l.Acquire(c)
+	l.Release(c)
+	if got := LockdepViolations(); len(got) != 0 {
+		t.Errorf("disabled lockdep recorded %q", got)
+	}
+	if LockdepEnabled() {
+		t.Error("lockdep reports enabled after DisableLockdep")
+	}
+}

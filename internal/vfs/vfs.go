@@ -19,6 +19,7 @@ package vfs
 
 import (
 	"fmt"
+	"sort"
 
 	"fastsocket/internal/cpu"
 	"fastsocket/internal/lock"
@@ -191,11 +192,14 @@ func (l *Layer) FreeSocketFile(t *cpu.Task, f *File) {
 // ProcEntries lists live socket inodes — the information /proc-based
 // tools (netstat, lsof) rely on, which Fastsocket-aware VFS keeps
 // even on the fast path (§3.4 "Keep Compatibility").
+// Entries are returned in inode order so the listing (and anything
+// derived from it) is independent of map iteration order.
 func (l *Layer) ProcEntries() []*File {
 	out := make([]*File, 0, len(l.open))
 	for _, f := range l.open {
 		out = append(out, f)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ino < out[j].Ino })
 	return out
 }
 

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint test bench figures quick-figures examples clean
+.PHONY: all build lint test bench bench-go figures quick-figures examples clean
 
 all: build test
 
@@ -22,7 +22,16 @@ test: lint
 test-record:
 	go test -count=1 ./... 2>&1 | tee test_output.txt
 
+# Benchmark the simulator engine itself and refresh the committed
+# perf record: writes BENCH_simperf.json with events/sec, ns/event and
+# allocs/event for a fixed macro run plus bare-loop schedule/fire and
+# schedule/cancel churn. Diff the file across commits to see how
+# engine changes move throughput.
 bench:
+	go run ./cmd/fsbench simperf
+
+# Any conventional go test benchmarks, archived to bench_output.txt.
+bench-go:
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Regenerate every table and figure of the paper (minutes).

@@ -15,11 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"fastsocket/internal/experiment"
 	"fastsocket/internal/sim"
+	"fastsocket/internal/sweep"
 )
 
 func usage() {
@@ -54,6 +56,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		coresFlag = flag.String("cores", "", "comma-separated core counts for figure4 (default 1,4,8,12,16,20,24)")
 		quick     = flag.Bool("quick", false, "small windows for a fast smoke run")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "host workers for independent sweep points (1 = serial; results are identical)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -67,6 +70,12 @@ func main() {
 		Window:             sim.Time(*windowMS) * sim.Millisecond,
 		ConcurrencyPerCore: *conc,
 		Seed:               *seed,
+	}
+	if *parallel > 1 {
+		// Sweep points (kernel x cores grid cells, table columns) are
+		// whole, independently-seeded simulations; internal/sweep runs
+		// them on parallel host workers without changing any result.
+		o.Runner = sweep.Parallel{Workers: *parallel}
 	}
 	f3 := experiment.Figure3Options{Seed: *seed}
 	if *quick {
@@ -105,6 +114,9 @@ func main() {
 		},
 		"ablation": func() {
 			fmt.Print(experiment.Ablation(o).Format())
+		},
+		"simperf": func() {
+			fmt.Print(runSimperf())
 		},
 	}
 	order := []string{"figure3", "figure4a", "figure4b", "table1", "figure5", "longlived", "synflood", "ablation"}

@@ -1,0 +1,206 @@
+package main
+
+// simperf benchmarks the simulator itself (not the simulated kernels):
+// how fast the discrete-event engine executes a fixed Figure-4a-style
+// run, and how fast the bare event loop schedules/cancels/fires. The
+// results are written to BENCH_simperf.json so the repository carries
+// a perf trajectory across engine changes (`make bench`).
+//
+// Two sections:
+//
+//   - macro: the three stock kernels run the Nginx bench (Figure 4a's
+//     workload) at a fixed core count, seed and window; we report wall
+//     time, loop events executed, events/sec, ns and heap allocations
+//     per event, and simulated connections completed. The simulated
+//     outcome (connections) is engine-independent; only the wall-side
+//     numbers may move between engine versions.
+//   - engine: a pure event-loop churn (schedule/fire and
+//     schedule/cancel at timer-like horizons) measuring the scheduler
+//     data structures alone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fastsocket/internal/app"
+	"fastsocket/internal/experiment"
+	"fastsocket/internal/kernel"
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+// simperfMacroRun is one kernel profile's Figure-4a-style measurement.
+type simperfMacroRun struct {
+	Kernel         string  `json:"kernel"`
+	Cores          int     `json:"cores"`
+	SimMillis      int64   `json:"sim_millis"`
+	WallMillis     float64 `json:"wall_millis"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	SimConns       uint64  `json:"sim_conns"`
+	Throughput     float64 `json:"sim_conns_per_sim_sec"`
+}
+
+// simperfEngineRun is one micro-benchmark of the bare loop.
+type simperfEngineRun struct {
+	Name         string  `json:"name"`
+	Ops          int     `json:"ops"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type simperfReport struct {
+	Note   string             `json:"note"`
+	Macro  []simperfMacroRun  `json:"macro"`
+	Engine []simperfEngineRun `json:"engine"`
+	// Totals aggregate the macro section (the headline numbers).
+	TotalEvents         uint64  `json:"total_events"`
+	TotalEventsPerSec   float64 `json:"total_events_per_sec"`
+	TotalAllocsPerEvent float64 `json:"total_allocs_per_event"`
+}
+
+const (
+	simperfCores  = 8
+	simperfWarmup = 20 * sim.Millisecond
+	simperfWindow = 80 * sim.Millisecond
+	simperfConc   = 300 // per core
+)
+
+// simperfMacro runs one kernel profile's fixed workload and measures
+// the engine while it runs.
+func simperfMacro(spec experiment.KernelSpec) simperfMacroRun {
+	loop := sim.NewLoop()
+	netw := app.NewNetwork(loop, 20*sim.Microsecond)
+	k := kernel.New(loop, kernel.Config{
+		Name:  spec.Label,
+		Cores: simperfCores,
+		Mode:  spec.Mode,
+		Feat:  spec.Feat,
+		Seed:  1,
+	})
+	netw.AttachKernel(k)
+	srv := app.NewWebServer(k, app.WebServerConfig{})
+	srv.Start()
+	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+		Targets:     []netproto.Addr{{IP: k.IPs()[0], Port: 80}},
+		Concurrency: simperfConc * simperfCores,
+		Seed:        100,
+	})
+	cli.Start()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	loop.RunUntil(simperfWarmup + simperfWindow)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	events := loop.Fired()
+	allocs := m1.Mallocs - m0.Mallocs
+	r := simperfMacroRun{
+		Kernel:     spec.Label,
+		Cores:      simperfCores,
+		SimMillis:  int64((simperfWarmup + simperfWindow) / sim.Millisecond),
+		WallMillis: float64(wall.Nanoseconds()) / 1e6,
+		Events:     events,
+		SimConns:   cli.Completed,
+		Throughput: float64(cli.Completed) / (simperfWarmup + simperfWindow).Seconds(),
+	}
+	if events > 0 {
+		r.EventsPerSec = float64(events) / wall.Seconds()
+		r.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		r.AllocsPerEvent = float64(allocs) / float64(events)
+	}
+	return r
+}
+
+// simperfEngine measures the bare loop: n schedule+fire pairs and n
+// schedule+cancel pairs at retransmit-timer-like horizons, the event
+// pattern that dominates real runs.
+func simperfEngine(name string, n int, cancel bool) simperfEngineRun {
+	loop := sim.NewLoop()
+	fn := func() {}
+	horizon := 200 * sim.Microsecond
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if cancel {
+		// schedule/cancel churn: armed timers that never fire, the
+		// retransmission-timer pattern (armed on send, cancelled on ACK).
+		for i := 0; i < n; i++ {
+			ev := loop.After(horizon, fn)
+			ev.Cancel()
+			if i%64 == 0 {
+				loop.RunUntil(loop.Now() + sim.Microsecond)
+			}
+		}
+		loop.Run()
+	} else {
+		// schedule/fire churn: a sliding window of pending events.
+		pending := 0
+		for i := 0; i < n; i++ {
+			loop.After(sim.Time(1+i%int(horizon)), fn)
+			pending++
+			if pending >= 1024 {
+				loop.RunUntil(loop.Now() + horizon/4)
+				pending = loop.Pending()
+			}
+		}
+		loop.Run()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	r := simperfEngineRun{Name: name, Ops: n}
+	r.NsPerOp = float64(wall.Nanoseconds()) / float64(n)
+	r.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(n)
+	r.EventsPerSec = float64(n) / wall.Seconds()
+	return r
+}
+
+// runSimperf executes both sections and writes BENCH_simperf.json.
+func runSimperf() string {
+	rep := simperfReport{
+		Note: fmt.Sprintf("fixed Figure-4a-style run: 3 stock kernels, %d cores, %v simulated, seed 1; engine churn 1e6 ops",
+			simperfCores, simperfWarmup+simperfWindow),
+	}
+	var wallNs float64
+	for _, spec := range experiment.StockKernels() {
+		m := simperfMacro(spec)
+		rep.Macro = append(rep.Macro, m)
+		rep.TotalEvents += m.Events
+		wallNs += m.WallMillis * 1e6
+		rep.TotalAllocsPerEvent += m.AllocsPerEvent
+	}
+	if wallNs > 0 {
+		rep.TotalEventsPerSec = float64(rep.TotalEvents) / (wallNs / 1e9)
+	}
+	rep.TotalAllocsPerEvent /= float64(len(rep.Macro))
+
+	const ops = 1_000_000
+	rep.Engine = append(rep.Engine,
+		simperfEngine("schedule_fire", ops, false),
+		simperfEngine("schedule_cancel", ops, true),
+	)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsbench: simperf encode: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_simperf.json", out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fsbench: simperf write: %v\n", err)
+		os.Exit(1)
+	}
+	return string(out)
+}

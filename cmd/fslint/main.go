@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -24,9 +25,11 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout (machine-readable for CI annotators)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fslint [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: fslint [-json] [packages]\n\n"+
 			"Patterns are directories; dir/... walks recursively. Default: ./...\n")
+		flag.PrintDefaults()
 	}
 	flag.Parse()
 	patterns := flag.Args()
@@ -54,12 +57,47 @@ func main() {
 	}
 
 	diags := a.Run()
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		printJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "fslint: %d issue(s)\n", n)
 		os.Exit(1)
+	}
+}
+
+// finding is the JSON shape of one diagnostic: a flat record per
+// issue so CI annotators can consume it without knowing go/token.
+type finding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"message"`
+}
+
+// printJSON emits all findings as one indented JSON array ([] when
+// clean, so the output is always valid JSON).
+func printJSON(diags []analysis.Diagnostic) {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			File:   filepath.ToSlash(d.Pos.Filename),
+			Line:   d.Pos.Line,
+			Column: d.Pos.Column,
+			Rule:   d.Rule,
+			Msg:    d.Msg,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "fslint: %v\n", err)
+		os.Exit(2)
 	}
 }
 

@@ -72,6 +72,21 @@ var restrictedPkgs = map[string]bool{
 	"workload": true, "experiment": true,
 }
 
+// exemptPkgs are internal/<name> packages explicitly excluded from
+// the determinism and unit-hygiene rules, with the reason on record.
+// An entry here wins over restrictedPkgs, so the exemption survives
+// even if the restricted set later becomes broader.
+var exemptPkgs = map[string]string{
+	// sweep runs independent simulation jobs on parallel host
+	// goroutines. It is safe to exempt because it never touches the
+	// inside of a running simulation: each job builds its own
+	// sim.Loop, seeds its own PRNGs and writes to its own result
+	// slot, so host scheduling can reorder only job *completion*,
+	// never any simulated outcome. go test -race ./internal/sweep
+	// asserts parallel results are byte-identical to serial ones.
+	"sweep": "host-parallel sweep orchestration; jobs are whole independently-seeded simulations",
+}
+
 // forbiddenImports are packages whose mere linkage into a restricted
 // package is a determinism smell.
 var forbiddenImports = map[string]string{
@@ -136,6 +151,9 @@ func restricted(path string) bool {
 	}
 	if i := strings.IndexByte(rest, '/'); i >= 0 {
 		rest = rest[:i]
+	}
+	if _, exempt := exemptPkgs[rest]; exempt {
+		return false
 	}
 	return restrictedPkgs[rest]
 }

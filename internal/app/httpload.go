@@ -64,7 +64,7 @@ type cliConn struct {
 	finAcked       bool
 	peerFin        bool
 	synRetries     int
-	synTimer       *sim.Event
+	synTimer       sim.Event
 }
 
 // HTTPLoadConfig configures the generator.
@@ -243,9 +243,7 @@ func (h *HTTPLoad) fail(c *cliConn) {
 }
 
 func (h *HTTPLoad) finish(c *cliConn) {
-	if c.synTimer != nil {
-		c.synTimer.Cancel()
-	}
+	c.synTimer.Cancel()
 	delete(h.conns, h.key(c))
 	if h.concurrency > 0 {
 		h.open() // closed loop: replace immediately
@@ -296,9 +294,7 @@ func (h *HTTPLoad) Deliver(p *netproto.Packet) {
 	switch c.state {
 	case cliSynSent:
 		if p.Flags.Has(netproto.SYN) && p.Flags.Has(netproto.ACK) && p.Ack == c.sndNxt {
-			if c.synTimer != nil {
-				c.synTimer.Cancel()
-			}
+			c.synTimer.Cancel()
 			c.rcvNxt = p.Seq + 1
 			c.state = cliEstablished
 			h.ack(c)

@@ -109,14 +109,24 @@ type AblationRow struct {
 }
 
 // Ablation measures the incremental feature sets on both benchmarks.
+// Each (feature set, bench) pair is an independent simulation point
+// dispatched through o.Runner.
 func Ablation(o Options) AblationResult {
 	o = o.withDefaults()
+	cols := Table1Columns()
+	ms := make([]Measurement, 2*len(cols))
+	o.Runner.Run(len(ms), func(i int) {
+		col := cols[i/2]
+		spec := KernelSpec{Label: col.Label, Mode: kernelModeFor(col), Feat: col.Feat}
+		bench := WebBench
+		if i%2 == 1 {
+			bench = ProxyBench
+		}
+		ms[i] = Measure(spec, bench, 24, o)
+	})
 	var res AblationResult
-	for _, col := range Table1Columns() {
-		mode := kernelModeFor(col)
-		spec := KernelSpec{Label: col.Label, Mode: mode, Feat: col.Feat}
-		web := Measure(spec, WebBench, 24, o)
-		proxy := Measure(spec, ProxyBench, 24, o)
+	for i, col := range cols {
+		web, proxy := ms[2*i], ms[2*i+1]
 		res.Rows = append(res.Rows, AblationRow{
 			Label:    col.Label,
 			WebCPS:   web.Throughput,

@@ -25,18 +25,26 @@ type Figure4Result struct {
 var DefaultCoreSweep = []int{1, 4, 8, 12, 16, 20, 24}
 
 // Figure4 runs the throughput-vs-cores sweep (Figure 4a with
-// WebBench/Nginx, Figure 4b with ProxyBench/HAProxy).
+// WebBench/Nginx, Figure 4b with ProxyBench/HAProxy). The core-count
+// x kernel grid is a set of fully independent simulations, dispatched
+// through o.Runner and reassembled by point index.
 func Figure4(bench Bench, cores []int, o Options) Figure4Result {
+	o = o.withDefaults()
 	if len(cores) == 0 {
 		cores = DefaultCoreSweep
 	}
-	res := Figure4Result{Bench: bench, Speedup: map[string]float64{}}
 	specs := StockKernels()
+	ms := make([]Measurement, len(cores)*len(specs))
+	o.Runner.Run(len(ms), func(i int) {
+		ms[i] = Measure(specs[i%len(specs)], bench, cores[i/len(specs)], o)
+	})
+
+	res := Figure4Result{Bench: bench, Speedup: map[string]float64{}}
 	single := map[string]float64{}
-	for _, n := range cores {
+	for ci, n := range cores {
 		row := Figure4Row{Cores: n, CPS: map[string]float64{}}
-		for _, spec := range specs {
-			m := Measure(spec, bench, n, o)
+		for si, spec := range specs {
+			m := ms[ci*len(specs)+si]
 			row.CPS[spec.Label] = m.Throughput
 			if n == 1 {
 				single[spec.Label] = m.Throughput

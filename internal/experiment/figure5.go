@@ -55,8 +55,10 @@ const Figure5Cores = 16
 // correct, §3.2.2).
 func Figure5(o Options) Figure5Result {
 	o = o.withDefaults()
-	var res Figure5Result
-	for _, cfg := range Figure5Configs() {
+	cfgs := Figure5Configs()
+	rows := make([]Figure5Row, len(cfgs))
+	o.Runner.Run(len(cfgs), func(i int) {
+		cfg := cfgs[i]
 		feat := kernel.Features{VFS: true, LocalListen: true}
 		if cfg.RFD {
 			feat.RFD = true
@@ -74,14 +76,14 @@ func Figure5(o Options) Figure5Result {
 			ATRSampleRate: 2,
 		}
 		m := Measure(spec, ProxyBench, Figure5Cores, o)
-		res.Rows = append(res.Rows, Figure5Row{
+		rows[i] = Figure5Row{
 			Label:      cfg.Label,
 			Throughput: m.Throughput,
 			L3MissPct:  100 * m.L3MissRate,
 			LocalPct:   m.LocalPct,
-		})
-	}
-	return res
+		}
+	})
+	return Figure5Result{Rows: rows}
 }
 
 // Format renders both panels of Figure 5 as one table.

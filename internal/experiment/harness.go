@@ -42,6 +42,10 @@ type Options struct {
 	// (the paper spreads client load over several IPs).
 	ListenIPs int
 	Seed      uint64
+	// Runner executes the independent points of a sweep (nil =
+	// Serial). Pass sweep.Parallel to spread points over host workers;
+	// results are identical either way.
+	Runner Runner
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +66,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Runner == nil {
+		o.Runner = Serial{}
 	}
 	return o
 }

@@ -50,13 +50,17 @@ func Table1(o Options) Table1Result {
 		res.Counts[name] = make([]uint64, len(cols))
 	}
 	scale := float64(60*sim.Second) / float64(o.Window)
+	ms := make([]Measurement, len(cols))
+	o.Runner.Run(len(cols), func(i int) {
+		col := cols[i]
+		spec := KernelSpec{Label: col.Label, Mode: kernelModeFor(col), Feat: col.Feat}
+		ms[i] = Measure(spec, ProxyBench, 24, o)
+	})
 	for i, col := range cols {
 		res.Columns = append(res.Columns, col.Label)
-		spec := KernelSpec{Label: col.Label, Mode: kernelModeFor(col), Feat: col.Feat}
-		m := Measure(spec, ProxyBench, 24, o)
-		res.Throughput = append(res.Throughput, m.Throughput)
+		res.Throughput = append(res.Throughput, ms[i].Throughput)
 		for _, name := range kernel.LockNames {
-			res.Counts[name][i] = uint64(float64(m.LockContended[name]) * scale)
+			res.Counts[name][i] = uint64(float64(ms[i].LockContended[name]) * scale)
 		}
 	}
 	return res

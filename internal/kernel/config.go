@@ -105,6 +105,12 @@ type Config struct {
 	// reproduce the broken naive partition (§2.1) in tests.
 	NaiveNoFallback bool
 
+	// NAPIBudget is the maximum number of segments one NET_RX SoftIRQ
+	// poll processes per wakeup (netdev_budget-style; Linux's per-NAPI
+	// default is 64). Each segment is charged its full per-packet
+	// cost; batching only mitigates interrupts, i.e. loop events.
+	NAPIBudget int
+
 	Costs *Costs
 	TCP   *tcp.Params
 	Seed  uint64
@@ -144,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RFSTableSize == 0 {
 		c.RFSTableSize = 32768
+	}
+	if c.NAPIBudget == 0 {
+		c.NAPIBudget = 64
 	}
 	if c.Feat.RFD {
 		c.RFS = false // RFD provides complete locality; RFS is moot

@@ -27,6 +27,7 @@ import (
 type Stats struct {
 	PacketsIn, PacketsOut uint64
 	SoftSteers            uint64 // RFD software re-queues
+	NAPIPolls             uint64 // NET_RX poll wakeups (loop events)
 	RSTSent               uint64
 	// ActiveIn / ActiveLocal measure, for active-connection incoming
 	// packets only, whether the NIC delivered them to the flow's home
@@ -96,6 +97,12 @@ type Kernel struct {
 	// flowHome mirrors the established tables for instrumentation
 	// (figure 5b locality accounting) without charging lookups.
 	flowHome map[netproto.FourTuple]*sockExt
+
+	// NAPI state: per-core softnet backlog of software-steered
+	// packets, and whether a poll item is already queued on the core
+	// (at most one — that is the interrupt mitigation).
+	backlog    []nic.Ring
+	napiActive []bool
 
 	usedPorts  map[netproto.Addr]bool
 	portCursor netproto.Port
@@ -181,6 +188,8 @@ func New(loop *sim.Loop, cfg Config) *Kernel {
 	for i := range k.wheels {
 		k.wheels[i] = ktimer.NewWheel(k.machine.Core(i), loop, c.LockBounce, c.Timer)
 	}
+	k.backlog = make([]nic.Ring, cfg.Cores)
+	k.napiActive = make([]bool, cfg.Cores)
 	return k
 }
 
@@ -234,7 +243,10 @@ func (k *Kernel) isLocalIP(ip netproto.IP) bool {
 // --- RX path ---------------------------------------------------------
 
 // Deliver is the wire handing a packet to the NIC: steer to an RX
-// queue, raise the interrupt on that core.
+// queue, enqueue on that queue's ring, and — NAPI-style — raise the
+// interrupt only if no poll is already pending on the core. The poll
+// then drains up to Config.NAPIBudget segments per wakeup, so a burst
+// costs one loop event instead of one per packet.
 func (k *Kernel) Deliver(p *netproto.Packet) {
 	q := k.nic.SteerRX(p)
 	k.stats.PacketsIn++
@@ -249,7 +261,44 @@ func (k *Kernel) Deliver(p *netproto.Packet) {
 	if k.tracer != nil {
 		k.tracer.Trace(0, p, q)
 	}
-	k.machine.Core(q).SubmitSoftIRQ(func(t *cpu.Task) { k.netrx(t, p, false) })
+	k.nic.EnqueueRX(q, p)
+	k.scheduleNAPI(q)
+}
+
+// scheduleNAPI queues the NET_RX poll on a core unless one is already
+// pending or running there.
+func (k *Kernel) scheduleNAPI(q int) {
+	if k.napiActive[q] {
+		return
+	}
+	k.napiActive[q] = true
+	k.machine.Core(q).SubmitSoftIRQ(func(t *cpu.Task) { k.napiPoll(t, q) })
+}
+
+// napiPoll is one NET_RX SoftIRQ wakeup: drain the core's softnet
+// backlog (software-steered segments, already demuxed on their RX
+// core) and then the NIC ring, up to the budget. If work remains the
+// poll re-queues itself — yielding the core to already-queued SoftIRQ
+// work (timer expiries) in between, as softirq processing does
+// between netdev_budget rounds.
+func (k *Kernel) napiPoll(t *cpu.Task, q int) {
+	k.stats.NAPIPolls++
+	for budget := k.cfg.NAPIBudget; budget > 0; budget-- {
+		if p, ok := k.backlog[q].Pop(); ok {
+			k.netrx(t, p, true)
+			continue
+		}
+		p, ok := k.nic.PollRX(q)
+		if !ok {
+			break
+		}
+		k.netrx(t, p, false)
+	}
+	if k.backlog[q].Len() > 0 || k.nic.RXBacklog(q) > 0 {
+		k.machine.Core(q).SubmitSoftIRQ(func(t2 *cpu.Task) { k.napiPoll(t2, q) })
+	} else {
+		k.napiActive[q] = false
+	}
 }
 
 // SetTracer attaches a packet tracer (nil detaches).
@@ -293,7 +342,8 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 		if target, active := k.rfd.Steer(p, hasListener); active && target != t.CoreID() {
 			t.Charge(c.RFDSteer)
 			k.stats.SoftSteers++
-			k.machine.Core(target).SubmitSoftIRQ(func(t2 *cpu.Task) { k.netrx(t2, p, true) })
+			k.backlog[target].Push(p)
+			k.scheduleNAPI(target)
 			return
 		}
 	} else if k.rfs != nil && !steered {
@@ -304,7 +354,8 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 			t.Charge(c.RFDSteer)
 			k.rfs.steers++
 			k.stats.SoftSteers++
-			k.machine.Core(target).SubmitSoftIRQ(func(t2 *cpu.Task) { k.netrx(t2, p, true) })
+			k.backlog[target].Push(p)
+			k.scheduleNAPI(target)
 			return
 		}
 	}

@@ -11,6 +11,15 @@
 //
 // Timer expiry executes in interrupt context on the wheel's core, as
 // in Linux.
+//
+// The wheel's *cost model* (base.lock, arm/cancel/expire charges)
+// lives here; the *storage* for armed deadlines is the simulator's
+// own far-timer tier. Every deadline this package arms (RTO ~200ms,
+// TIME_WAIT ~250us) is far beyond sim's level-0 wheel granularity,
+// so each armed timer is a pooled timer-wheel node in internal/sim —
+// not a heap event — and the overwhelmingly common cancel-before-fire
+// path is an O(1) unlink that allocates nothing and leaves no
+// residue in the event heap.
 package ktimer
 
 import (
@@ -60,7 +69,7 @@ func (w *Wheel) Core() *cpu.Core { return w.core }
 // Timer is one armed timer.
 type Timer struct {
 	wheel *Wheel
-	ev    *sim.Event
+	ev    sim.Event
 	fired bool
 }
 
@@ -90,7 +99,7 @@ func (w *Wheel) Arm(t *cpu.Task, d sim.Time, fn func(*cpu.Task)) *Timer {
 // Cancel deactivates the timer; a no-op if it already fired or was
 // cancelled. The calling context pays the base.lock costs.
 func (tm *Timer) Cancel(t *cpu.Task) {
-	if tm == nil || tm.fired || tm.ev.Cancelled() {
+	if tm == nil || tm.fired || !tm.ev.Live() {
 		return
 	}
 	w := tm.wheel
@@ -103,5 +112,5 @@ func (tm *Timer) Cancel(t *cpu.Task) {
 
 // Active reports whether the timer is still pending.
 func (tm *Timer) Active() bool {
-	return tm != nil && !tm.fired && !tm.ev.Cancelled()
+	return tm != nil && !tm.fired && tm.ev.Live()
 }

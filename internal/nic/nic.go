@@ -16,8 +16,14 @@
 //     programs RFD's hash(p) = p & (roundUpPow2(n)-1) here to offload
 //     active-connection steering entirely to hardware.
 //
-// The NIC only *steers*; delivering the packet into a core's NET_RX
-// SoftIRQ is the kernel's job (internal/softirq).
+// Steered packets land in per-queue RX rings. The kernel drains a
+// ring NAPI-style: the first packet arriving on an idle queue raises
+// the interrupt (one SoftIRQ poll item); the poll then dequeues up to
+// a budget of segments per wakeup, so under load interrupts are
+// mitigated and one loop event carries a whole batch. The rings are
+// unbounded — like the pre-NAPI model, the simulation applies
+// backpressure through CPU saturation (SoftIRQ starving process
+// context), not through RX descriptor exhaustion.
 package nic
 
 import (
@@ -70,7 +76,38 @@ type Stats struct {
 	PerfectHits uint64 // matched a programmed perfect filter
 	ATRSamples  uint64 // TX packets sampled into the ATR table
 	ATREvicts   uint64 // ATR entries overwritten by a colliding flow
+	RXRingMax   int    // high-water mark across the RX rings
 }
+
+// Ring is a FIFO of packets: an RX descriptor ring on the NIC side,
+// and the same structure serves as the kernel's per-core softnet
+// backlog. Pop compacts lazily, so steady-state push/pop does not
+// allocate.
+type Ring struct {
+	buf  []*netproto.Packet
+	head int
+}
+
+// Push appends a packet.
+func (r *Ring) Push(p *netproto.Packet) { r.buf = append(r.buf, p) }
+
+// Pop removes and returns the oldest packet.
+func (r *Ring) Pop() (*netproto.Packet, bool) {
+	if r.head >= len(r.buf) {
+		return nil, false
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+	}
+	return p, true
+}
+
+// Len returns the number of queued packets.
+func (r *Ring) Len() int { return len(r.buf) - r.head }
 
 type atrEntry struct {
 	tuple netproto.FourTuple
@@ -105,6 +142,7 @@ type NIC struct {
 	cfg     Config
 	atr     []atrEntry
 	txCount []uint64 // per-queue TX counter driving the sample period
+	rings   []Ring   // per-queue RX rings drained by the kernel's NAPI poll
 	perfect PerfectFilter
 	stats   Stats
 }
@@ -127,6 +165,7 @@ func New(cfg Config) *NIC {
 		cfg:     cfg,
 		atr:     make([]atrEntry, cfg.ATRTableSize),
 		txCount: make([]uint64, cfg.Queues),
+		rings:   make([]Ring, cfg.Queues),
 	}
 }
 
@@ -173,6 +212,25 @@ func (n *NIC) SteerRX(p *netproto.Packet) int {
 	n.stats.RSSSteered++
 	return n.rss(ft)
 }
+
+// EnqueueRX places a steered packet in queue q's RX ring, returning
+// true when the ring was empty — the moment real hardware raises the
+// RX interrupt (NAPI re-arms it only after the poll drains the ring).
+func (n *NIC) EnqueueRX(q int, p *netproto.Packet) bool {
+	r := &n.rings[q]
+	wasEmpty := r.Len() == 0
+	r.Push(p)
+	if l := r.Len(); l > n.stats.RXRingMax {
+		n.stats.RXRingMax = l
+	}
+	return wasEmpty
+}
+
+// PollRX dequeues the oldest packet of queue q's RX ring.
+func (n *NIC) PollRX(q int) (*netproto.Packet, bool) { return n.rings[q].Pop() }
+
+// RXBacklog returns the number of packets waiting in queue q's ring.
+func (n *NIC) RXBacklog(q int) int { return n.rings[q].Len() }
 
 // ObserveTX is called for every packet the kernel transmits through
 // the given TX queue (XPS pins TX queue i to core i). In ATR mode the

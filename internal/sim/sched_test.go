@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestChurnBoundedMemory is the regression test for the old lazy-
+// cancellation leak: a long run arming and immediately cancelling
+// timers (the dominant retransmission-timer pattern) must not
+// accumulate memory in the heap, the pool, or the Pending count.
+func TestChurnBoundedMemory(t *testing.T) {
+	l := NewLoop()
+	const churn = 200_000
+	for i := 0; i < churn; i++ {
+		// A near event (heap tier) and a far event (wheel tier),
+		// both cancelled before they can fire.
+		ne := l.After(Microsecond, func() { t.Error("cancelled near event fired") })
+		fe := l.After(200*Millisecond, func() { t.Error("cancelled far event fired") })
+		ne.Cancel()
+		fe.Cancel()
+		if i%128 == 0 {
+			l.RunUntil(l.Now() + Microsecond)
+		}
+	}
+	if got := l.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after cancelling everything, want 0", got)
+	}
+	// The pool recycles: two live events at a time means a handful of
+	// nodes, not hundreds of thousands.
+	if n := len(l.nodes); n > 64 {
+		t.Errorf("pool grew to %d nodes under churn, want a small constant", n)
+	}
+	// Stale heap entries are reaped, not retained until popped.
+	if n := len(l.heap); n > 2*reapMinStale {
+		t.Errorf("heap holds %d entries under churn, want <= %d", n, 2*reapMinStale)
+	}
+	if l.wheelCount != 0 {
+		t.Errorf("wheel holds %d entries after cancelling everything", l.wheelCount)
+	}
+	st := l.SchedStats()
+	if st.CancelledWheel == 0 {
+		t.Error("far cancels never hit the wheel tier")
+	}
+	l.Run()
+}
+
+// TestSchedulingAllocFree verifies the headline property of the pooled
+// scheduler: steady-state schedule/fire and schedule/cancel do not
+// allocate.
+func TestSchedulingAllocFree(t *testing.T) {
+	l := NewLoop()
+	fn := func() {}
+	// Prime the pool and the heap/wheel arrays.
+	for i := 0; i < 1024; i++ {
+		l.After(Time(i%100)*Microsecond, fn).Cancel()
+	}
+	l.Run()
+
+	avg := testing.AllocsPerRun(1000, func() {
+		e := l.After(50*Microsecond, fn)
+		e.Cancel()
+		l.After(Microsecond, fn)
+		l.Run()
+	})
+	if avg > 0 {
+		t.Errorf("steady-state schedule/cancel/fire allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestWheelHeapOrderEquivalence drives mixed near/far deadlines —
+// crossing every wheel level and the heap — through the loop and
+// checks the observable firing order is exactly (at, seq), i.e. the
+// two-tier split is invisible.
+func TestWheelHeapOrderEquivalence(t *testing.T) {
+	l := NewLoop()
+	rng := NewRand(7)
+	type ref struct {
+		at  Time
+		seq int
+	}
+	var want []ref
+	var got []ref
+	seq := 0
+	spans := []Time{
+		100 * Nanosecond, // same-slot, heap
+		10 * Microsecond, // around the level-0 slot boundary
+		Millisecond,      // level 0/1
+		80 * Millisecond, // level 1/2
+		5 * Second,       // level 2/3
+		400 * Second,     // beyond the wheel span, heap
+	}
+	schedule := func(base Time) {
+		for i := 0; i < 200; i++ {
+			d := rng.Duration(0, spans[rng.Intn(len(spans))])
+			at := base + d
+			s := seq
+			seq++
+			want = append(want, ref{at, s})
+			l.At(at, func() { got = append(got, ref{l.Now(), s}) })
+		}
+	}
+	schedule(0)
+	// Schedule a second wave mid-run so insertions happen with the
+	// clock away from zero (exercises slot-index wraparound).
+	l.At(30*Millisecond, func() { schedule(l.Now()) })
+	want = append(want, ref{30 * Millisecond, seq})
+	seq++
+	l.Run()
+
+	sort.SliceStable(want, func(i, j int) bool {
+		return want[i].at < want[j].at || (want[i].at == want[j].at && want[i].seq < want[j].seq)
+	})
+	// The mid-run scheduler event itself also fires; drop it from want
+	// by matching counts instead: got lacks it, so filter it out.
+	filtered := want[:0]
+	for _, w := range want {
+		if w.seq != 200 { // the wave-2 trigger got seq 200
+			filtered = append(filtered, w)
+		}
+	}
+	want = filtered
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].at != want[i].at || got[i].seq != want[i].seq {
+			t.Fatalf("firing[%d] = (t=%v seq=%d), want (t=%v seq=%d)",
+				i, got[i].at, got[i].seq, want[i].at, want[i].seq)
+		}
+	}
+}
+
+// TestWheelCancelAndFireMix cancels a random half of a far-deadline
+// population and checks exactly the survivors fire, in order.
+func TestWheelCancelAndFireMix(t *testing.T) {
+	l := NewLoop()
+	rng := NewRand(11)
+	var events []Event
+	fired := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		i := i
+		d := rng.Duration(100*Microsecond, Second)
+		events = append(events, l.After(d, func() { fired[i] = true }))
+	}
+	cancelled := map[int]bool{}
+	for i, e := range events {
+		if rng.Bool(0.5) {
+			e.Cancel()
+			cancelled[i] = true
+		}
+	}
+	if got, want := l.Pending(), len(events)-len(cancelled); got != want {
+		t.Errorf("Pending() = %d, want %d", got, want)
+	}
+	l.Run()
+	for i := range events {
+		if cancelled[i] && fired[i] {
+			t.Fatalf("event %d fired after Cancel", i)
+		}
+		if !cancelled[i] && !fired[i] {
+			t.Fatalf("event %d never fired", i)
+		}
+	}
+}
+
+// TestEventHandleLifecycle pins the handle semantics: zero value is
+// inert; Live/Cancelled track the pool node until its slot is reused,
+// after which a dead handle stays dead.
+func TestEventHandleLifecycle(t *testing.T) {
+	var zero Event
+	zero.Cancel() // must not panic
+	if zero.Live() || zero.Cancelled() {
+		t.Error("zero Event reports Live or Cancelled")
+	}
+
+	l := NewLoop()
+	e := l.After(10, func() {})
+	if !e.Live() || e.Cancelled() {
+		t.Error("scheduled event: want Live, not Cancelled")
+	}
+	e.Cancel()
+	if e.Live() || !e.Cancelled() {
+		t.Error("cancelled event: want Cancelled, not Live")
+	}
+	e.Cancel() // double-cancel is a no-op
+	if l.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", l.Pending())
+	}
+
+	f := l.After(10, func() {})
+	l.Run()
+	if f.Live() || f.Cancelled() {
+		t.Error("fired event: want neither Live nor Cancelled")
+	}
+
+	// Reuse f's pool slot; the old cancelled handle e must stay dead
+	// and cancelling it must not disturb the new event.
+	g := l.After(10, func() {})
+	e.Cancel()
+	f.Cancel()
+	if !g.Live() {
+		t.Error("stale handles' Cancel affected an unrelated event")
+	}
+	ok := false
+	l.At(g.At(), func() { ok = true }) // same time: order by seq
+	l.Run()
+	if !ok {
+		t.Error("loop stalled after stale-handle cancels")
+	}
+}
+
+// TestPendingCountsLiveOnly pins the Pending fix: cancelled events do
+// not count, fired events do not count, live ones do.
+func TestPendingCountsLiveOnly(t *testing.T) {
+	l := NewLoop()
+	a := l.At(10, func() {})
+	l.At(20, func() {})
+	c := l.At(300*Millisecond, func() {}) // wheel tier
+	if l.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", l.Pending())
+	}
+	a.Cancel()
+	c.Cancel()
+	if l.Pending() != 1 {
+		t.Fatalf("Pending() = %d after two cancels, want 1", l.Pending())
+	}
+	l.Run()
+	if l.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", l.Pending())
+	}
+}

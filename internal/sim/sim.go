@@ -1,5 +1,6 @@
 // Package sim provides the discrete-event simulation engine underneath
-// the Fastsocket reproduction: a simulated clock, an event heap with
+// the Fastsocket reproduction: a simulated clock, a pooled event
+// scheduler (4-ary min-heap plus a hierarchical timer wheel) with O(1)
 // cancellation, and a deterministic pseudo-random number generator.
 //
 // All simulation state transitions happen inside a single-threaded
@@ -8,10 +9,7 @@
 // not real synchronization primitives.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in simulated time, in nanoseconds since simulation
 // start. It is deliberately distinct from time.Duration so that real
@@ -25,6 +23,9 @@ const (
 	Millisecond Time = 1000 * Microsecond
 	Second      Time = 1000 * Millisecond
 )
+
+// maxTime is the sentinel "no deadline".
+const maxTime = Time(1<<63 - 1)
 
 // String renders the time with an adaptive unit, e.g. "12.5us".
 func (t Time) String() string {
@@ -43,53 +44,85 @@ func (t Time) String() string {
 // Seconds converts a simulated time span to float seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. Events are created by Loop.At/After
-// and may be cancelled before they fire.
+// Event is a handle to a scheduled callback, created by Loop.At/After.
+// It is a small value (not a pointer into the scheduler): the event
+// state itself lives in the loop's pool and is reused after the event
+// fires or is cancelled. A generation counter makes a stale handle's
+// Cancel a safe no-op. The zero Event is inert: Cancel does nothing,
+// Live and Cancelled report false.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	index     int // heap index, -1 once popped or cancelled
-	cancelled bool
+	l   *Loop
+	idx int32
+	gen uint32
+	at  Time
 }
 
-// At returns the simulated time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// At returns the simulated time the event was scheduled to fire.
+func (e Event) At() Time { return e.at }
+
+// Live reports whether the event is still scheduled (neither fired nor
+// cancelled).
+func (e Event) Live() bool {
+	if e.l == nil {
+		return false
+	}
+	n := &e.l.nodes[e.idx]
+	return n.gen == e.gen && n.where != whereFree
+}
 
 // Cancel prevents the event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
-
-// Cancelled reports whether Cancel has been called.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// already fired or been cancelled is a no-op. A wheel-resident event
+// (far deadline) is unlinked in O(1) and its pool slot reused
+// immediately; a heap-resident one is reaped lazily (or eagerly once
+// stale entries accumulate past a threshold).
+func (e Event) Cancel() {
+	l := e.l
+	if l == nil {
+		return
 	}
-	return h[i].seq < h[j].seq
+	n := &l.nodes[e.idx]
+	if n.gen != e.gen || n.where == whereFree {
+		return
+	}
+	switch n.where {
+	case whereWheel:
+		l.wheelUnlink(e.idx)
+		l.stats.CancelledWheel++
+	case whereHeap:
+		// The heap entry stays behind; it is skipped on pop (the pool
+		// slot's generation no longer matches) and compacted away once
+		// enough garbage accumulates.
+		l.stale++
+		l.stats.CancelledHeap++
+	}
+	l.freeNode(e.idx, fateCancelled)
+	l.maybeReap()
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Cancelled reports whether the event was cancelled. It is accurate
+// until the event's pool slot is reused for a later event; after that
+// (the handle is long dead either way) it conservatively reports true.
+// A fired event reports false while its slot is unreused.
+func (e Event) Cancelled() bool {
+	if e.l == nil {
+		return false
+	}
+	n := &e.l.nodes[e.idx]
+	if n.gen != e.gen {
+		return true // slot reused: this event ended long ago
+	}
+	return n.where == whereFree && n.fate == fateCancelled
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// SchedStats counts scheduler-internal activity, for benchmarks and
+// regression tests of the engine itself.
+type SchedStats struct {
+	ScheduledHeap  uint64 // events placed directly in the near heap
+	ScheduledWheel uint64 // events placed in the timer-wheel tier
+	CancelledHeap  uint64 // cancellations leaving a stale heap entry
+	CancelledWheel uint64 // O(1) wheel unlinks
+	Cascades       uint64 // wheel slots migrated toward the heap
+	Reaps          uint64 // eager compactions of stale heap entries
 }
 
 // Loop is a discrete-event loop. The zero value is not usable; call
@@ -97,16 +130,41 @@ func (h *eventHeap) Pop() any {
 type Loop struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
 	stopped bool
 
-	// Fired counts events executed, for diagnostics and budget caps.
+	// fired counts events executed, for diagnostics and budget caps.
 	fired uint64
+
+	// Event pool: all scheduled events live in nodes; free is the head
+	// of the free list (-1 when empty); live counts scheduled,
+	// uncancelled events.
+	nodes []node
+	free  int32
+	live  int
+
+	// Near tier: an index-free 4-ary min-heap ordered by (at, seq).
+	// Entries carry a generation so cancelled events leave no work
+	// behind beyond a stale entry; stale counts those.
+	heap  []heapEnt
+	stale int
+
+	// Far tier: hierarchical timer wheel (wheel.go).
+	wheelOcc   [wheelLevels]uint64
+	wheelSlots [wheelLevels][wheelSlotCount]int32
+	wheelCount int
+
+	stats SchedStats
 }
 
 // NewLoop returns an event loop with the clock at zero.
 func NewLoop() *Loop {
-	return &Loop{}
+	l := &Loop{free: -1}
+	for lvl := range l.wheelSlots {
+		for i := range l.wheelSlots[lvl] {
+			l.wheelSlots[lvl][i] = -1
+		}
+	}
+	return l
 }
 
 // Now returns the current simulated time.
@@ -115,24 +173,41 @@ func (l *Loop) Now() Time { return l.now }
 // Fired returns the number of events executed so far.
 func (l *Loop) Fired() uint64 { return l.fired }
 
-// Pending returns the number of scheduled (possibly cancelled but not
-// yet reaped) events.
-func (l *Loop) Pending() int { return len(l.events) }
+// Pending returns the number of scheduled, uncancelled events.
+// (Cancelled events no longer count: their pool slots are reused and
+// stale heap entries are reaped, so long cancel-heavy runs hold no
+// hidden memory.)
+func (l *Loop) Pending() int { return l.live }
+
+// SchedStats returns a snapshot of the scheduler counters.
+func (l *Loop) SchedStats() SchedStats { return l.stats }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in
 // the past (t < Now) panics: it would silently reorder causality.
-func (l *Loop) At(t Time, fn func()) *Event {
+// Events due within the current wheel slot go to the near heap;
+// farther deadlines (armed timers, TIME_WAIT) go to the wheel tier,
+// where cancellation is O(1) and costs the heap nothing.
+func (l *Loop) At(t Time, fn func()) Event {
 	if t < l.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
 	}
 	l.seq++
-	e := &Event{at: t, seq: l.seq, fn: fn}
-	heap.Push(&l.events, e)
-	return e
+	idx := l.alloc()
+	n := &l.nodes[idx]
+	n.at, n.seq, n.fn = t, l.seq, fn
+	l.live++
+	if l.wheelInsert(idx, t) {
+		l.stats.ScheduledWheel++
+	} else {
+		n.where = whereHeap
+		l.heapPush(heapEnt{at: t, seq: n.seq, idx: idx, gen: n.gen})
+		l.stats.ScheduledHeap++
+	}
+	return Event{l: l, idx: idx, gen: n.gen, at: t}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (l *Loop) After(d Time, fn func()) *Event {
+func (l *Loop) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -140,19 +215,21 @@ func (l *Loop) After(d Time, fn func()) *Event {
 }
 
 // Step executes the next event, advancing the clock. It returns false
-// when no events remain.
+// when no events remain. Firing order is exactly (at, seq): the wheel
+// tier cascades due slots into the heap before they can fire, so the
+// split is invisible to the simulation.
 func (l *Loop) Step() bool {
-	for len(l.events) > 0 {
-		e := heap.Pop(&l.events).(*Event)
-		if e.cancelled {
-			continue
-		}
-		l.now = e.at
-		l.fired++
-		e.fn()
-		return true
+	if _, ok := l.next(); !ok {
+		return false
 	}
-	return false
+	e := l.heap[0]
+	l.heapPop()
+	l.now = e.at
+	fn := l.nodes[e.idx].fn
+	l.fired++
+	l.freeNode(e.idx, fateFired)
+	fn()
+	return true
 }
 
 // Run executes events until none remain or Stop is called.
@@ -167,16 +244,8 @@ func (l *Loop) Run() {
 func (l *Loop) RunUntil(t Time) {
 	l.stopped = false
 	for !l.stopped {
-		if len(l.events) == 0 {
-			break
-		}
-		// Peek.
-		next := l.events[0]
-		if next.cancelled {
-			heap.Pop(&l.events)
-			continue
-		}
-		if next.at > t {
+		at, ok := l.next()
+		if !ok || at > t {
 			break
 		}
 		l.Step()

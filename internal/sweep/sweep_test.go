@@ -1,0 +1,101 @@
+package sweep_test
+
+// Run with -race (CI does): these tests assert both data-race freedom
+// of the worker pool and the package's core promise — a parallel
+// sweep is byte-identical to a serial one.
+
+import (
+	"reflect"
+	"testing"
+
+	"fastsocket/internal/experiment"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/sweep"
+)
+
+func smallOpts() experiment.Options {
+	return experiment.Options{
+		Warmup:             10 * sim.Millisecond,
+		Window:             10 * sim.Millisecond,
+		ConcurrencyPerCore: 50,
+	}
+}
+
+// TestParallelMeasureMatchesSerial measures each of the three stock
+// kernel profiles serially and on a 4-worker pool and requires every
+// field of every Measurement to be exactly equal (floats, counters,
+// lock maps — nothing is allowed to drift).
+func TestParallelMeasureMatchesSerial(t *testing.T) {
+	specs := experiment.StockKernels()
+	o := smallOpts()
+	serial := make([]experiment.Measurement, len(specs))
+	for i, spec := range specs {
+		serial[i] = experiment.Measure(spec, experiment.WebBench, 4, o)
+	}
+	parallel := sweep.Map(4, len(specs), func(i int) experiment.Measurement {
+		return experiment.Measure(specs[i], experiment.WebBench, 4, o)
+	})
+	for i, spec := range specs {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: parallel measurement differs from serial:\nserial:   %+v\nparallel: %+v",
+				spec.Label, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestParallelFigure4MatchesSerial runs the whole Figure 4a sweep
+// both ways through the Runner plumbing and compares the rendered
+// output byte for byte.
+func TestParallelFigure4MatchesSerial(t *testing.T) {
+	cores := []int{1, 4}
+
+	o := smallOpts()
+	serial := experiment.Figure4(experiment.WebBench, cores, o)
+
+	o = smallOpts()
+	o.Runner = sweep.Parallel{Workers: 4}
+	parallel := experiment.Figure4(experiment.WebBench, cores, o)
+
+	if s, p := serial.Format(), parallel.Format(); s != p {
+		t.Errorf("parallel Figure4 output differs from serial:\n--- serial\n%s--- parallel\n%s", s, p)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel Figure4 result structure differs from serial")
+	}
+}
+
+// TestRunExecutesAllJobsOnce hammers the worker pool with many tiny
+// jobs: every index must run exactly once (the race detector guards
+// the counter handoff).
+func TestRunExecutesAllJobsOnce(t *testing.T) {
+	const n = 10_000
+	counts := make([]int, n)
+	sweep.Parallel{Workers: 8}.Run(n, func(i int) { counts[i]++ })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times, want exactly once", i, c)
+		}
+	}
+}
+
+// TestMapOrdering checks results land at their own index regardless
+// of completion order.
+func TestMapOrdering(t *testing.T) {
+	got := sweep.Map(4, 1000, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestSerialFallback covers the single-worker path.
+func TestSerialFallback(t *testing.T) {
+	var order []int
+	sweep.Parallel{Workers: 1}.Run(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint test bench bench-go figures quick-figures examples clean
+.PHONY: all build lint test bench bench-go figures quick-figures faults examples clean
 
 all: build test
 
@@ -40,6 +40,12 @@ figures:
 
 quick-figures:
 	go run ./cmd/fsbench -quick all
+
+# Smoke-run the fault-injection experiments (loss sweep + overload
+# ramp) with small windows; exercises the whole fault plane end to end.
+faults:
+	go run ./cmd/fsbench -quick losssweep overload
+	go run ./cmd/fsbench -quick -faults loss=0.01,ring=256,allocfail=0.001 figure4a
 
 examples:
 	go run ./examples/quickstart

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"fastsocket/internal/experiment"
+	"fastsocket/internal/fault"
 	"fastsocket/internal/sim"
 	"fastsocket/internal/sweep"
 )
@@ -41,6 +42,10 @@ experiments:
   synflood   spoofed SYN flood with and without tcp_syncookies (the
              "Security" production requirement of §1)
   ablation   each Fastsocket component's contribution in isolation
+  losssweep  goodput + p99 connection latency vs wire loss rate,
+             baseline vs Fastsocket (deterministic fault injection)
+  overload   offered load ramped past capacity: accept throughput
+             plateaus with syncookies, collapses without
   all        run everything
 
 flags:
@@ -57,6 +62,7 @@ func main() {
 		coresFlag = flag.String("cores", "", "comma-separated core counts for figure4 (default 1,4,8,12,16,20,24)")
 		quick     = flag.Bool("quick", false, "small windows for a fast smoke run")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "host workers for independent sweep points (1 = serial; results are identical)")
+		faultSpec = flag.String("faults", "", "fault plan for ad-hoc robustness runs, e.g. loss=0.01,ring=256,allocfail=0.001 (applies to every experiment run)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -70,6 +76,14 @@ func main() {
 		Window:             sim.Time(*windowMS) * sim.Millisecond,
 		ConcurrencyPerCore: *conc,
 		Seed:               *seed,
+	}
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+			os.Exit(2)
+		}
+		o.Fault = &plan
 	}
 	if *parallel > 1 {
 		// Sweep points (kernel x cores grid cells, table columns) are
@@ -115,11 +129,17 @@ func main() {
 		"ablation": func() {
 			fmt.Print(experiment.Ablation(o).Format())
 		},
+		"losssweep": func() {
+			fmt.Print(experiment.LossSweep(nil, nil, o).Format())
+		},
+		"overload": func() {
+			fmt.Print(experiment.Overload(o).Format())
+		},
 		"simperf": func() {
 			fmt.Print(runSimperf())
 		},
 	}
-	order := []string{"figure3", "figure4a", "figure4b", "table1", "figure5", "longlived", "synflood", "ablation"}
+	order := []string{"figure3", "figure4a", "figure4b", "table1", "figure5", "longlived", "synflood", "ablation", "losssweep", "overload"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

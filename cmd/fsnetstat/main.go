@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"fastsocket/internal/app"
+	"fastsocket/internal/fault"
 	"fastsocket/internal/kernel"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
@@ -24,10 +25,11 @@ import (
 
 func main() {
 	var (
-		cores    = flag.Int("cores", 4, "CPU cores of the simulated machine")
-		modeStr  = flag.String("mode", "fastsocket", "kernel: base2632 | linux313 | fastsocket")
-		runMS    = flag.Int("run", 5, "simulated milliseconds of traffic before the snapshot")
-		pcapPath = flag.String("pcap", "", "also dump the packet trace to this file (tcpdump/wireshark readable)")
+		cores     = flag.Int("cores", 4, "CPU cores of the simulated machine")
+		modeStr   = flag.String("mode", "fastsocket", "kernel: base2632 | linux313 | fastsocket")
+		runMS     = flag.Int("run", 5, "simulated milliseconds of traffic before the snapshot")
+		pcapPath  = flag.String("pcap", "", "also dump the packet trace to this file (tcpdump/wireshark readable)")
+		faultSpec = flag.String("faults", "", "fault plan, e.g. loss=0.01,ring=256,allocfail=0.001 (exercises the SNMP counters)")
 	)
 	flag.Parse()
 
@@ -46,9 +48,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg := kernel.Config{Cores: *cores, Mode: mode, Feat: feat}
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsnetstat: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Fault = &plan
+	}
 	loop := sim.NewLoop()
 	netw := app.NewNetwork(loop, 20*sim.Microsecond)
-	k := kernel.New(loop, kernel.Config{Cores: *cores, Mode: mode, Feat: feat})
+	k := kernel.New(loop, cfg)
 	netw.AttachKernel(k)
 	var ring *trace.Ring
 	if *pcapPath != "" {
@@ -60,6 +71,7 @@ func main() {
 	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
 		Targets:     []netproto.Addr{{IP: k.IPs()[0], Port: 80}},
 		Concurrency: 8 * *cores,
+		Retransmit:  cfg.Fault != nil,
 	})
 	cli.Start()
 	loop.RunUntil(sim.Time(*runMS) * sim.Millisecond)
@@ -73,6 +85,7 @@ func main() {
 	}
 	fmt.Printf("\nVFS mode: %v — live socket inodes registered: %d\n",
 		k.VFS().Mode(), len(k.VFS().ProcEntries()))
+	fmt.Printf("\nnetstat -s (SNMP counters):\n%s", k.SNMP().Format())
 
 	if ring != nil {
 		f, err := os.Create(*pcapPath)

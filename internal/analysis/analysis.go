@@ -70,6 +70,10 @@ var restrictedPkgs = map[string]bool{
 	"kernel": true, "tcb": true, "tcp": true, "vfs": true,
 	"epoll": true, "ktimer": true, "core": true, "netproto": true,
 	"workload": true, "experiment": true,
+	// fault makes the per-run fault decisions; it must stay on the
+	// seeded splitmix hash (no math/rand, no waivers) or replays and
+	// parallel sweeps diverge.
+	"fault": true,
 }
 
 // exemptPkgs are internal/<name> packages explicitly excluded from

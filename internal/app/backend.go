@@ -82,6 +82,9 @@ func (b *Backend) send(c *backConn, flags netproto.Flags, payload []byte) {
 
 // Deliver implements Endpoint.
 func (b *Backend) Deliver(p *netproto.Packet) {
+	if p.Corrupt {
+		return // checksum failure: discard silently
+	}
 	if p.Dst != b.addr && p.Dst.IP != b.addr.IP {
 		return
 	}

@@ -27,6 +27,8 @@ type HTTPLoad struct {
 	concurrency int
 	maxSYNRetry int
 	rto         sim.Time
+	retransmit  bool
+	maxRetry    int
 
 	conns      map[netproto.FourTuple]*cliConn
 	nextIP     int
@@ -39,6 +41,10 @@ type HTTPLoad struct {
 	Errors    uint64 // RSTs and SYN-retry exhaustion
 	Bytes     uint64
 	Latencies *stats.Histogram
+	// ConnLatencies measures whole-connection latency (open to last
+	// response), which under loss includes every retransmission
+	// timeout paid along the way.
+	ConnLatencies *stats.Histogram
 
 	// openLoopStop cancels open-loop arrivals.
 	openLoopStop bool
@@ -65,6 +71,11 @@ type cliConn struct {
 	peerFin        bool
 	synRetries     int
 	synTimer       sim.Event
+	// Data/FIN retransmission state (only armed when the generator is
+	// built with Retransmit — loss-tolerant mode).
+	rtxTimer sim.Event
+	retries  int
+	reqSeq   uint32 // first sequence number of the in-flight request
 }
 
 // HTTPLoadConfig configures the generator.
@@ -84,6 +95,13 @@ type HTTPLoadConfig struct {
 	RTO             sim.Time // SYN retransmission timeout
 	MaxSYNRetry     int
 	Seed            uint64
+	// Retransmit arms a data/FIN retransmission timer per connection
+	// so the client survives wire loss (required for fault-injection
+	// runs; off by default, keeping fault-free runs byte-identical to
+	// the original generator).
+	Retransmit bool
+	// MaxRetry bounds data/FIN retransmissions (default 5).
+	MaxRetry int
 }
 
 // NewHTTPLoad builds the generator and attaches it to the fabric.
@@ -111,21 +129,27 @@ func NewHTTPLoad(loop *sim.Loop, net *Network, cfg HTTPLoadConfig) *HTTPLoad {
 	if cfg.Seed == 0 {
 		cfg.Seed = 7
 	}
+	if cfg.MaxRetry == 0 {
+		cfg.MaxRetry = 5
+	}
 	h := &HTTPLoad{
-		loop:        loop,
-		net:         net,
-		rng:         sim.NewRand(cfg.Seed),
-		ips:         cfg.ClientIPs,
-		targets:     cfg.Targets,
-		reqLen:      cfg.RequestLen,
-		respLen:     cfg.ResponseLen,
-		reqsPerConn: cfg.RequestsPerConn,
-		concurrency: cfg.Concurrency,
-		maxSYNRetry: cfg.MaxSYNRetry,
-		rto:         cfg.RTO,
-		conns:       map[netproto.FourTuple]*cliConn{},
-		portCursor:  make([]netproto.Port, len(cfg.ClientIPs)),
-		Latencies:   stats.NewHistogram(),
+		loop:          loop,
+		net:           net,
+		rng:           sim.NewRand(cfg.Seed),
+		ips:           cfg.ClientIPs,
+		targets:       cfg.Targets,
+		reqLen:        cfg.RequestLen,
+		respLen:       cfg.ResponseLen,
+		reqsPerConn:   cfg.RequestsPerConn,
+		concurrency:   cfg.Concurrency,
+		maxSYNRetry:   cfg.MaxSYNRetry,
+		rto:           cfg.RTO,
+		retransmit:    cfg.Retransmit,
+		maxRetry:      cfg.MaxRetry,
+		conns:         map[netproto.FourTuple]*cliConn{},
+		portCursor:    make([]netproto.Port, len(cfg.ClientIPs)),
+		Latencies:     stats.NewHistogram(),
+		ConnLatencies: stats.NewHistogram(),
 	}
 	for i := range h.portCursor {
 		h.portCursor[i] = netproto.EphemeralLow
@@ -244,6 +268,7 @@ func (h *HTTPLoad) fail(c *cliConn) {
 
 func (h *HTTPLoad) finish(c *cliConn) {
 	c.synTimer.Cancel()
+	c.rtxTimer.Cancel()
 	delete(h.conns, h.key(c))
 	if h.concurrency > 0 {
 		h.open() // closed loop: replace immediately
@@ -252,6 +277,7 @@ func (h *HTTPLoad) finish(c *cliConn) {
 
 func (h *HTTPLoad) sendRequest(c *cliConn) {
 	req := netproto.BuildRequest("/hot/interface", h.reqLen)
+	c.reqSeq = c.sndNxt
 	h.net.Send(&netproto.Packet{
 		Src: c.local, Dst: c.remote,
 		Flags: netproto.PSH | netproto.ACK,
@@ -260,6 +286,7 @@ func (h *HTTPLoad) sendRequest(c *cliConn) {
 	})
 	c.sndNxt += uint32(len(req))
 	c.reqStart = h.loop.Now()
+	h.armRetry(c)
 }
 
 func (h *HTTPLoad) sendFIN(c *cliConn) {
@@ -270,6 +297,52 @@ func (h *HTTPLoad) sendFIN(c *cliConn) {
 	})
 	c.sndNxt++
 	c.state = cliFinSent
+	h.armRetry(c)
+}
+
+// armRetry (re)arms the data/FIN retransmission timer; a no-op unless
+// the generator was built with Retransmit, so fault-free runs see no
+// extra events.
+func (h *HTTPLoad) armRetry(c *cliConn) {
+	if !h.retransmit {
+		return
+	}
+	c.rtxTimer.Cancel()
+	c.rtxTimer = h.loop.After(h.rto, func() { h.retryFire(c) })
+}
+
+func (h *HTTPLoad) retryFire(c *cliConn) {
+	if c.state == cliSynSent {
+		return // the SYN path has its own timer
+	}
+	c.retries++
+	if c.retries > h.maxRetry {
+		h.fail(c)
+		return
+	}
+	switch c.state {
+	case cliEstablished:
+		// No response progress within RTO: assume the request was
+		// lost and resend it from its recorded sequence (the server
+		// re-ACKs duplicates). reqStart is left untouched — the
+		// latency histogram must include the recovery time.
+		req := netproto.BuildRequest("/hot/interface", h.reqLen)
+		h.net.Send(&netproto.Packet{
+			Src: c.local, Dst: c.remote,
+			Flags: netproto.PSH | netproto.ACK,
+			Seq:   c.reqSeq, Ack: c.rcvNxt,
+			Payload: req,
+		})
+	case cliFinSent:
+		if !c.finAcked {
+			h.net.Send(&netproto.Packet{
+				Src: c.local, Dst: c.remote,
+				Flags: netproto.FIN | netproto.ACK,
+				Seq:   c.sndNxt - 1, Ack: c.rcvNxt,
+			})
+		}
+	}
+	h.armRetry(c)
 }
 
 func (h *HTTPLoad) ack(c *cliConn) {
@@ -281,6 +354,9 @@ func (h *HTTPLoad) ack(c *cliConn) {
 
 // Deliver implements Endpoint: the client-side TCP behaviour.
 func (h *HTTPLoad) Deliver(p *netproto.Packet) {
+	if p.Corrupt {
+		return // checksum failure: discard silently
+	}
 	c, ok := h.conns[p.Tuple()]
 	if !ok {
 		// Late packet for a finished connection (e.g. retransmitted
@@ -290,6 +366,12 @@ func (h *HTTPLoad) Deliver(p *netproto.Packet) {
 	if p.Flags.Has(netproto.RST) {
 		h.fail(c)
 		return
+	}
+	if h.retransmit && c.state != cliSynSent {
+		// Anything arriving from the server counts as progress for
+		// the client-side retransmission clock.
+		c.retries = 0
+		h.armRetry(c)
 	}
 	switch c.state {
 	case cliSynSent:
@@ -307,6 +389,11 @@ func (h *HTTPLoad) Deliver(p *netproto.Packet) {
 			h.Bytes += uint64(len(p.Payload))
 			c.rcvNxt += uint32(len(p.Payload))
 			advanced = true
+		} else if len(p.Payload) > 0 && int32(p.Seq-c.rcvNxt) < 0 {
+			// Duplicate (already-sequenced) data, e.g. a server
+			// retransmission that crossed our ACK: re-ACK so the
+			// server's timer stands down.
+			h.ack(c)
 		}
 		if p.Flags.Has(netproto.FIN) && p.Seq+uint32(len(p.Payload)) == c.rcvNxt {
 			// Server finished the response and closed (short-lived
@@ -315,6 +402,7 @@ func (h *HTTPLoad) Deliver(p *netproto.Packet) {
 			c.peerFin = true
 			h.Completed++
 			h.Latencies.Add(h.loop.Now() - c.reqStart)
+			h.ConnLatencies.Add(h.loop.Now() - c.start)
 			// ACK the FIN and close our side.
 			h.ack(c)
 			h.sendFIN(c)
@@ -332,6 +420,7 @@ func (h *HTTPLoad) Deliver(p *netproto.Packet) {
 				if c.reqsDone < h.reqsPerConn {
 					h.sendRequest(c)
 				} else {
+					h.ConnLatencies.Add(h.loop.Now() - c.start)
 					h.sendFIN(c)
 				}
 			}

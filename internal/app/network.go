@@ -8,6 +8,7 @@
 package app
 
 import (
+	"fastsocket/internal/fault"
 	"fastsocket/internal/kernel"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
@@ -26,13 +27,15 @@ type NetworkStats struct {
 }
 
 // Network is the switch fabric: constant one-way delay, optional
-// random loss for failure-injection tests.
+// random loss for failure-injection tests, and — when a kernel with a
+// fault plan is attached — the deterministic link-fault layer.
 type Network struct {
 	loop      *sim.Loop
 	delay     sim.Time
 	endpoints map[netproto.IP]Endpoint
 	loss      float64
 	rng       *sim.Rand
+	faults    *fault.Engine
 	stats     NetworkStats
 }
 
@@ -61,23 +64,48 @@ func (n *Network) Attach(ep Endpoint, ips ...netproto.IP) {
 }
 
 // AttachKernel wires a simulated kernel into the fabric: its
-// transmit path feeds the network, and its IPs route to its NIC.
+// transmit path feeds the network, and its IPs route to its NIC. A
+// kernel carrying a fault engine also arms the fabric's link-fault
+// layer (one engine per run; the machine under test owns it).
 func (n *Network) AttachKernel(k *kernel.Kernel) {
 	k.SendToWire = n.Send
 	n.Attach(k, k.IPs()...)
+	if e := k.Faults(); e != nil {
+		n.faults = e
+	}
 }
 
 // Send puts a packet on the wire; it arrives after the fabric delay.
+// The fault engine may drop, duplicate, delay (reorder), or corrupt
+// it first — all wire-side, costing no CPU on either machine.
 func (n *Network) Send(p *netproto.Packet) {
 	if n.loss > 0 && n.rng.Bool(n.loss) {
 		n.stats.LostRandom++
 		return
 	}
+	delay := n.delay
+	if n.faults != nil && n.faults.Plan().LinkEnabled() {
+		switch act, extra := n.faults.LinkAction(p); act {
+		case fault.Drop:
+			n.stats.LostRandom++
+			return
+		case fault.Dup:
+			n.deliver(p, delay)
+		case fault.Reorder:
+			delay += extra
+		case fault.Corrupt:
+			p = fault.CorruptCopy(p)
+		}
+	}
+	n.deliver(p, delay)
+}
+
+func (n *Network) deliver(p *netproto.Packet, delay sim.Time) {
 	ep, ok := n.endpoints[p.Dst.IP]
 	if !ok {
 		n.stats.Unroutable++
 		return
 	}
 	n.stats.Delivered++
-	n.loop.After(n.delay, func() { ep.Deliver(p) })
+	n.loop.After(delay, func() { ep.Deliver(p) })
 }

@@ -132,6 +132,9 @@ func (w *pxWorker) start(t *cpu.Task) {
 	if k.Config().Reuseport() {
 		for _, ip := range k.IPs() {
 			fd := w.p.Socket(t)
+			if fd < 0 {
+				continue // boot-time alloc failure under injected memory pressure
+			}
 			if err := w.p.Bind(t, fd, netproto.Addr{IP: ip, Port: w.px.Port}); err != nil {
 				panic(err)
 			}

@@ -75,5 +75,13 @@ func (f *SYNFlood) Start() {
 	f.loop.After(0, tick)
 }
 
+// SetRate changes the flood intensity from the next SYN onward (the
+// overload ramp raises it step by step).
+func (f *SYNFlood) SetRate(r float64) {
+	if r > 0 {
+		f.rate = r
+	}
+}
+
 // Stop halts the flood.
 func (f *SYNFlood) Stop() { f.stopped = true }

@@ -17,6 +17,7 @@ func digestOf(m Measurement) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "tput=%v|window=%d|p99=%d|errors=%d|steers=%d|l3=%v|local=%v|",
 		m.Throughput, m.Window, m.P99Latency, m.Errors, m.SoftSteers, m.L3MissRate, m.LocalPct)
+	fmt.Fprintf(h, "p99conn=%d|snmp=%+v|", m.P99Conn, m.SNMP)
 	for _, name := range kernel.LockNames {
 		fmt.Fprintf(h, "lock.%s=%d|", name, m.LockContended[name])
 	}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"fastsocket/internal/fault"
+	"fastsocket/internal/sim"
+)
+
+// stressPlan exercises every fault layer at once: all four link
+// actions, a small RX ring, and memory pressure.
+func stressPlan() *fault.Plan {
+	return &fault.Plan{
+		C2S:       fault.LinkFaults{Drop: 0.02, Dup: 0.01, Reorder: 0.01, Corrupt: 0.005},
+		S2C:       fault.LinkFaults{Drop: 0.02, Dup: 0.01, Reorder: 0.01, Corrupt: 0.005},
+		RingSize:  256,
+		AllocFail: 0.001,
+	}
+}
+
+// TestFaultyRunsAreBitReproducible is the fault-plane extension of
+// TestSimulationIsBitReproducible: with every fault layer active, two
+// identically-seeded runs must still agree on every reported number,
+// including the SNMP error counters.
+func TestFaultyRunsAreBitReproducible(t *testing.T) {
+	o := small()
+	o.Fault = stressPlan()
+	for _, spec := range []KernelSpec{StockKernels()[0], StockKernels()[2]} {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			a := Measure(spec, WebBench, 4, o)
+			b := Measure(spec, WebBench, 4, o)
+			if da, db := digestOf(a), digestOf(b); da != db {
+				t.Errorf("faulty runs diverged: digest %#x vs %#x\nrun1: %+v\nrun2: %+v", da, db, a, b)
+			}
+			if a.Throughput <= 0 {
+				t.Errorf("implausible throughput %v under faults", a.Throughput)
+			}
+			// The 10ms test window is shorter than the 200ms RTO, so
+			// retransmissions cannot land inside it; corrupted frames
+			// are the fault signal visible at this horizon.
+			if a.SNMP.CsumErrors == 0 {
+				t.Errorf("fault plan injected nothing (SNMP: %+v)", a.SNMP)
+			}
+		})
+	}
+}
+
+// TestFaultDisabledMatchesNilPlan: a non-nil but zero Plan arms the
+// client's retransmission machinery (timers that are always cancelled
+// before firing in a clean run) yet must not change a single reported
+// number versus no plan at all. This is the guarantee behind the
+// acceptance rule that the fault plane, when disabled, leaves every
+// committed figure byte-identical.
+func TestFaultDisabledMatchesNilPlan(t *testing.T) {
+	base := small()
+	armed := small()
+	armed.Fault = &fault.Plan{}
+	a := Measure(StockKernels()[2], WebBench, 4, base)
+	b := Measure(StockKernels()[2], WebBench, 4, armed)
+	if da, db := digestOf(a), digestOf(b); da != db {
+		t.Errorf("zero plan changed results: digest %#x vs %#x\nnil:  %+v\nzero: %+v", da, db, a, b)
+	}
+}
+
+// TestLossSweepDeterministic: the whole loss-sweep grid (which runs
+// its points through o.Runner) is reproducible point for point.
+func TestLossSweepDeterministic(t *testing.T) {
+	o := small()
+	cores := []int{2}
+	rates := []float64{0, 0.02}
+	a := LossSweep(cores, rates, o)
+	b := LossSweep(cores, rates, o)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("loss sweeps diverged:\nrun1: %+v\nrun2: %+v", a, b)
+	}
+	// Loss must hurt: goodput at 2% loss below goodput at 0% for the
+	// same kernel.
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (one per rate)", len(a.Rows))
+	}
+	for ci := range a.Rows[0].Cells {
+		clean, lossy := a.Rows[0].Cells[ci], a.Rows[1].Cells[ci]
+		if lossy.Goodput >= clean.Goodput {
+			t.Errorf("cell %d: goodput did not drop under loss (%.0f -> %.0f)",
+				ci, clean.Goodput, lossy.Goodput)
+		}
+	}
+}
+
+// TestOverloadDeterministic: both overload ramps reproduce exactly.
+func TestOverloadDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload ramp is the slowest experiment")
+	}
+	o := small()
+	o.Window = 20 * sim.Millisecond
+	a := Overload(o)
+	b := Overload(o)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("overload runs diverged:\nrun1: %+v\nrun2: %+v", a, b)
+	}
+}

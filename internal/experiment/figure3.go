@@ -85,6 +85,8 @@ func newFig3Server(mode kernel.Mode, feat kernel.Features, o Figure3Options, d w
 		Feat:  feat,
 		IPs:   []netproto.IP{netproto.IPv4(10, 1, 0, 1)},
 		Seed:  o.Seed,
+		// Committed outputs predate the bounded-ring default.
+		RXRingSize: 8192,
 	})
 	netw.AttachKernel(k)
 	backendAddr := netproto.Addr{IP: netproto.IPv4(10, 3, 0, 1), Port: 80}

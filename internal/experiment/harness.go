@@ -8,10 +8,12 @@ package experiment
 import (
 	"fastsocket/internal/app"
 	"fastsocket/internal/cpu"
+	"fastsocket/internal/fault"
 	"fastsocket/internal/kernel"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/nic"
 	"fastsocket/internal/sim"
+	"fastsocket/internal/stats"
 )
 
 // Bench selects which application is load-tested.
@@ -46,6 +48,10 @@ type Options struct {
 	// Serial). Pass sweep.Parallel to spread points over host workers;
 	// results are identical either way.
 	Runner Runner
+	// Fault, when non-nil, arms the deterministic fault plane on the
+	// machine under test and switches the load generator into its
+	// loss-tolerant (retransmitting) mode.
+	Fault *fault.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +93,11 @@ type Measurement struct {
 	Window     sim.Time
 	P99Latency sim.Time
 	Errors     uint64
+	// P99Conn is the p99 whole-connection latency (open → last
+	// response), the degradation metric of the loss sweep.
+	P99Conn sim.Time
+	// SNMP holds the window's netstat-style counter deltas.
+	SNMP stats.SNMP
 }
 
 // serverIPs builds n listen addresses.
@@ -143,6 +154,12 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 		ATRSampleRate: spec.ATRSampleRate,
 		IPs:           serverIPs(min(o.ListenIPs, max(cores, 1))),
 		Seed:          o.Seed,
+		// The committed experiments predate the 512-descriptor ring
+		// default; a generous ring keeps their outputs bit-identical
+		// (closed-loop bursts stay far below this bound). Fault plans
+		// may still override it via Fault.RingSize.
+		RXRingSize: 8192,
+		Fault:      o.Fault,
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -169,6 +186,10 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 		Targets:     targets,
 		Concurrency: o.ConcurrencyPerCore * cores,
 		Seed:        o.Seed + 99,
+		// Under an armed fault plane the client must survive segment
+		// loss; without one the retransmit machinery stays off so the
+		// event stream matches the pre-fault harness exactly.
+		Retransmit: o.Fault != nil,
 	})
 	return &testbed{loop: loop, net: netw, k: k, client: cli}
 }
@@ -190,7 +211,9 @@ func measureBed(tb *testbed, o Options) Measurement {
 	startCache := tb.k.Cache().Stats()
 	startStats := tb.k.Stats()
 	startLocks := tb.k.LockContention()
+	startSNMP := tb.k.SNMP()
 	tb.client.Latencies.Reset()
+	tb.client.ConnLatencies.Reset()
 
 	tb.loop.RunUntil(o.Warmup + o.Window)
 
@@ -211,6 +234,8 @@ func measureBed(tb *testbed, o Options) Measurement {
 	m.SoftSteers = st.SoftSteers - startStats.SoftSteers
 	m.P99Latency = tb.client.Latencies.Percentile(99)
 	m.Errors = tb.client.Errors
+	m.P99Conn = tb.client.ConnLatencies.Percentile(99)
+	m.SNMP = tb.k.SNMP().Sub(startSNMP)
 	return m
 }
 

@@ -59,6 +59,8 @@ func measureKeepAlive(spec KernelSpec, cores, reqsPerConn int, o Options) float6
 		NICMode: spec.NICMode,
 		IPs:     serverIPs(min(o.ListenIPs, max(cores, 1))),
 		Seed:    o.Seed,
+		// Committed outputs predate the bounded-ring default.
+		RXRingSize: 8192,
 	})
 	netw.AttachKernel(k)
 	srv := app.NewWebServer(k, app.WebServerConfig{KeepAlive: true})

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsocket/internal/fault"
+	"fastsocket/internal/sim"
+)
+
+// LossCell is one kernel's behaviour at one loss rate.
+type LossCell struct {
+	Spec        string
+	Goodput     float64  // completed requests per second
+	P99Conn     sim.Time // p99 whole-connection latency (includes recovery)
+	RetransSegs uint64   // server-side RTO retransmissions in the window
+	Errors      uint64   // client connections that gave up
+}
+
+// LossRow is one (cores, loss-rate) point of the sweep.
+type LossRow struct {
+	Cores int
+	Rate  float64
+	Cells []LossCell // per kernel, order of the specs slice
+}
+
+// LossSweepResult is the degradation-under-loss experiment: how
+// goodput and tail connection latency decay as symmetric wire loss
+// rises, baseline vs Fastsocket.
+type LossSweepResult struct {
+	Bench Bench
+	Rows  []LossRow
+}
+
+// DefaultLossRates is the sweep's x-axis.
+var DefaultLossRates = []float64{0, 0.005, 0.01, 0.02, 0.05}
+
+// LossSweep measures the web server under symmetric link loss across
+// core counts (default 8 and 24) for the baseline and Fastsocket
+// kernels. Every point is an independent simulation dispatched
+// through o.Runner; fault decisions are per-flow-seeded, so serial
+// and parallel dispatch agree bit-for-bit.
+func LossSweep(cores []int, rates []float64, o Options) LossSweepResult {
+	o = o.withDefaults()
+	if len(cores) == 0 {
+		cores = []int{8, 24}
+	}
+	if len(rates) == 0 {
+		rates = DefaultLossRates
+	}
+	all := StockKernels()
+	specs := []KernelSpec{all[0], all[2]} // base-2.6.32, fastsocket
+
+	ms := make([]Measurement, len(cores)*len(rates)*len(specs))
+	o.Runner.Run(len(ms), func(i int) {
+		spec := specs[i%len(specs)]
+		rate := rates[(i/len(specs))%len(rates)]
+		nc := cores[i/(len(specs)*len(rates))]
+		o2 := o
+		// A plan is armed even at rate 0 so every point runs the same
+		// loss-tolerant client; only the drop probability varies.
+		o2.Fault = &fault.Plan{
+			C2S: fault.LinkFaults{Drop: rate},
+			S2C: fault.LinkFaults{Drop: rate},
+		}
+		ms[i] = Measure(spec, WebBench, nc, o2)
+	})
+
+	res := LossSweepResult{Bench: WebBench}
+	for ci, nc := range cores {
+		for ri, rate := range rates {
+			row := LossRow{Cores: nc, Rate: rate}
+			for si, spec := range specs {
+				m := ms[(ci*len(rates)+ri)*len(specs)+si]
+				row.Cells = append(row.Cells, LossCell{
+					Spec:        spec.Label,
+					Goodput:     m.Throughput,
+					P99Conn:     m.P99Conn,
+					RetransSegs: m.SNMP.RetransSegs,
+					Errors:      m.Errors,
+				})
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Format renders the sweep as a table.
+func (r LossSweepResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Loss sweep — goodput and p99 connection latency vs wire loss (nginx bench)\n")
+	fmt.Fprintf(&b, "%5s %6s", "cores", "loss%")
+	if len(r.Rows) > 0 {
+		for _, c := range r.Rows[0].Cells {
+			fmt.Fprintf(&b, " | %-13s %8s %7s %6s", c.Spec, "p99conn", "rtxseg", "errs")
+		}
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%5d %6.1f", row.Cores, 100*row.Rate)
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, " | %12.0fk %8s %7d %6d",
+				c.Goodput/1000, fmtTime(c.P99Conn), c.RetransSegs, c.Errors)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func fmtTime(t sim.Time) string {
+	switch {
+	case t >= sim.Second:
+		return fmt.Sprintf("%.2fs", t.Seconds())
+	case t >= sim.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(t)/float64(sim.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fus", float64(t)/float64(sim.Microsecond))
+	}
+}

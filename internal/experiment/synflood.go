@@ -61,6 +61,8 @@ func runFlood(label string, cookies bool, rate float64, o Options) SynFloodRow {
 		Feat:  kernel.FullFastsocket(),
 		TCP:   params,
 		Seed:  o.Seed,
+		// Committed outputs predate the bounded-ring default.
+		RXRingSize: 8192,
 	})
 	netw.AttachKernel(k)
 	app.NewWebServer(k, app.WebServerConfig{}).Start()

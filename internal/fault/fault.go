@@ -1,0 +1,311 @@
+// Package fault is the simulation's deterministic fault-injection
+// plane. One Engine, seeded from the run seed, decides the fate of
+// every segment and allocation at three layers of the stack:
+//
+//   - link: drop / duplicate / reorder-delay / truncate-corrupt a
+//     segment on the wire, with independent probabilities per
+//     direction (toward a server port vs. back to the client).
+//   - NIC: finite per-queue RX ring capacity with tail-drop (the ring
+//     bound itself lives in internal/nic; Plan.RingSize merely
+//     overrides the kernel's configured size).
+//   - kernel: memory pressure that fails VFS inode/dentry and TCB
+//     allocations with configurable probability, exercising the
+//     error-return paths through socket(), accept() and the SYN fast
+//     path.
+//
+// # Determinism
+//
+// Decisions never come from a stateful PRNG stream shared across
+// flows. Each decision is a pure splitmix-style hash of
+//
+//	run seed ⊕ flow tuple ⊕ segment seq/flags ⊕ layer salt ⊕ occurrence
+//
+// where the occurrence counter is a per-key count of how many times
+// that exact key has been drawn. Per-flow keying means the fate of a
+// segment depends only on its own identity and history, never on how
+// other flows' packets interleave with it — so timing perturbations
+// that reorder events *across* flows (different NAPI batching, a
+// different core draining first) cannot shift any decision, and two
+// runs with the same seed are byte-identical, including when
+// internal/sweep runs whole simulations on parallel host workers
+// (each run owns its Engine). The occurrence counter also guarantees
+// a retransmitted segment gets a fresh draw instead of being
+// re-dropped forever.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+// LinkFaults are the wire-level fault probabilities for one
+// direction. The probabilities are cumulative-exclusive: one draw per
+// segment picks at most one action.
+type LinkFaults struct {
+	Drop    float64 // segment vanishes
+	Dup     float64 // segment delivered twice
+	Reorder float64 // segment delayed by ReorderDelay (passes later traffic)
+	Corrupt float64 // payload truncated, checksum bad; receiver discards
+	// ReorderDelay is the extra one-way delay of a reordered segment
+	// (default 200us — enough to pass several later segments on a
+	// 20us LAN).
+	ReorderDelay sim.Time
+	// DropFirst deterministically drops the first N segments seen in
+	// this direction, before any probabilistic draw. Used by tests
+	// and targeted scenarios that need a specific early loss.
+	DropFirst int
+}
+
+func (lf LinkFaults) enabled() bool {
+	return lf.Drop > 0 || lf.Dup > 0 || lf.Reorder > 0 || lf.Corrupt > 0 || lf.DropFirst > 0
+}
+
+// Plan is the complete, purely-declarative fault configuration for
+// one machine. The zero Plan injects nothing.
+type Plan struct {
+	// C2S applies to segments travelling toward a well-known (server)
+	// port; S2C to the reverse direction.
+	C2S, S2C LinkFaults
+	// RingSize overrides the NIC RX ring capacity (0 = keep the
+	// kernel's configured size; negative = unbounded).
+	RingSize int
+	// AllocFail is the probability that a VFS inode/dentry or TCB
+	// allocation fails (memory-pressure mode).
+	AllocFail float64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.C2S.enabled() || p.S2C.enabled() || p.RingSize != 0 || p.AllocFail > 0
+}
+
+// LinkEnabled reports whether any wire-level fault is configured.
+func (p Plan) LinkEnabled() bool { return p.C2S.enabled() || p.S2C.enabled() }
+
+// Action is the fate of one segment on the wire.
+type Action int
+
+// Link actions.
+const (
+	None Action = iota
+	Drop
+	Dup
+	Reorder
+	Corrupt
+)
+
+// Directions, indexed by Direction().
+const (
+	DirC2S = 0 // toward a well-known (server) port
+	DirS2C = 1 // back toward an ephemeral (client) port
+)
+
+// Direction classifies a packet by its destination port.
+func Direction(p *netproto.Packet) int {
+	if p.Dst.Port.IsWellKnown() {
+		return DirC2S
+	}
+	return DirS2C
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	LinkDrops    uint64
+	LinkDups     uint64
+	LinkReorders uint64
+	LinkCorrupts uint64
+	AllocFails   uint64
+}
+
+// Allocation sites, domain-separating AllocOK draws.
+const (
+	SiteSocket uint64 = 1 // socket(): inode+dentry alloc
+	SiteAccept uint64 = 2 // accept(): file alloc for the child
+	SiteTCB    uint64 = 3 // passive SYN: child TCB alloc
+)
+
+// Engine makes the per-run fault decisions. A nil *Engine is valid
+// and injects nothing, so callers need no guards.
+type Engine struct {
+	seed uint64
+	plan Plan
+	// seen counts prior draws per decision key; it is the occurrence
+	// term of the hash (retransmits redraw). Accessed by key only —
+	// never iterated — so it cannot leak map ordering.
+	seen         map[uint64]uint64
+	firstDropped [2]int
+	stats        Stats
+}
+
+// NewEngine builds an engine for one run.
+func NewEngine(seed uint64, plan Plan) *Engine {
+	if plan.C2S.ReorderDelay == 0 {
+		plan.C2S.ReorderDelay = 200 * sim.Microsecond
+	}
+	if plan.S2C.ReorderDelay == 0 {
+		plan.S2C.ReorderDelay = 200 * sim.Microsecond
+	}
+	return &Engine{seed: seed, plan: plan, seen: map[uint64]uint64{}}
+}
+
+// Plan returns the engine's plan (zero Plan for a nil engine).
+func (e *Engine) Plan() Plan {
+	if e == nil {
+		return Plan{}
+	}
+	return e.plan
+}
+
+// Stats returns a snapshot of the fault counters.
+func (e *Engine) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	return e.stats
+}
+
+const (
+	saltLink  uint64 = 0x6c696e6b_00000001
+	saltAlloc uint64 = 0x616c6c6f_00000002
+)
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// draw returns a uniform float64 in [0,1) for this key's next
+// occurrence. Identical (key, occurrence) pairs always draw the same
+// value in a given run.
+func (e *Engine) draw(key uint64) float64 {
+	n := e.seen[key]
+	e.seen[key] = n + 1
+	h := mix64(e.seed ^ mix64(key) ^ (n+1)*0x9e3779b97f4a7c15)
+	return float64(h>>11) / (1 << 53)
+}
+
+// LinkAction decides the fate of a segment entering the wire, and for
+// Reorder returns the extra delay to add. At most one action applies
+// per transmission; a retransmission of the same segment redraws.
+func (e *Engine) LinkAction(p *netproto.Packet) (Action, sim.Time) {
+	if e == nil {
+		return None, 0
+	}
+	dir := Direction(p)
+	lf := &e.plan.C2S
+	if dir == DirS2C {
+		lf = &e.plan.S2C
+	}
+	if !lf.enabled() {
+		return None, 0
+	}
+	if e.firstDropped[dir] < lf.DropFirst {
+		e.firstDropped[dir]++
+		e.stats.LinkDrops++
+		return Drop, 0
+	}
+	key := p.Tuple().Hash() ^ uint64(p.Seq)<<8 ^ uint64(p.Flags) ^ saltLink
+	u := e.draw(key)
+	cum := lf.Drop
+	if u < cum {
+		e.stats.LinkDrops++
+		return Drop, 0
+	}
+	cum += lf.Dup
+	if u < cum {
+		e.stats.LinkDups++
+		return Dup, 0
+	}
+	cum += lf.Reorder
+	if u < cum {
+		e.stats.LinkReorders++
+		return Reorder, lf.ReorderDelay
+	}
+	cum += lf.Corrupt
+	if u < cum {
+		e.stats.LinkCorrupts++
+		return Corrupt, 0
+	}
+	return None, 0
+}
+
+// AllocOK decides whether an allocation succeeds under the plan's
+// memory-pressure probability. site is one of the Site* constants;
+// key carries per-flow identity where one exists (0 otherwise). A
+// retried allocation redraws via the occurrence counter.
+func (e *Engine) AllocOK(site, key uint64) bool {
+	if e == nil || e.plan.AllocFail <= 0 {
+		return true
+	}
+	if e.draw(mix64(site*0x9e3779b97f4a7c15^key)^saltAlloc) < e.plan.AllocFail {
+		e.stats.AllocFails++
+		return false
+	}
+	return true
+}
+
+// CorruptCopy returns a shallow copy of p with its payload truncated
+// and the Corrupt bit set — a frame whose TCP checksum will fail at
+// the receiver.
+func CorruptCopy(p *netproto.Packet) *netproto.Packet {
+	cp := *p
+	if len(cp.Payload) > 0 {
+		cp.Payload = cp.Payload[:len(cp.Payload)/2]
+	}
+	cp.Corrupt = true
+	return &cp
+}
+
+// ParsePlan parses a compact plan spec of comma-separated key=value
+// pairs, e.g. "loss=0.01,ring=256,allocfail=0.001". Probabilistic
+// keys (loss, dup, reorder, corrupt) apply to both directions.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return Plan{}, fmt.Errorf("fault: bad plan entry %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "loss", "drop", "dup", "reorder", "corrupt", "allocfail":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f >= 1 {
+				return Plan{}, fmt.Errorf("fault: %s=%q is not a probability in [0,1)", key, val)
+			}
+			switch key {
+			case "loss", "drop":
+				p.C2S.Drop, p.S2C.Drop = f, f
+			case "dup":
+				p.C2S.Dup, p.S2C.Dup = f, f
+			case "reorder":
+				p.C2S.Reorder, p.S2C.Reorder = f, f
+			case "corrupt":
+				p.C2S.Corrupt, p.S2C.Corrupt = f, f
+			case "allocfail":
+				p.AllocFail = f
+			}
+		case "ring":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: ring=%q is not an integer", val)
+			}
+			p.RingSize = n
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q", key)
+		}
+	}
+	return p, nil
+}

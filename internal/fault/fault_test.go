@@ -1,0 +1,254 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+// pkt builds a client->server segment for flow (clientPort) with the
+// given sequence number.
+func pkt(clientPort netproto.Port, seq uint32) *netproto.Packet {
+	return &netproto.Packet{
+		Src:   netproto.Addr{IP: 0x0a000001, Port: clientPort},
+		Dst:   netproto.Addr{IP: 0x0a000002, Port: 80},
+		Flags: netproto.ACK,
+		Seq:   seq,
+	}
+}
+
+// TestSameSeedSameDecisions: two engines with the same seed and plan
+// produce identical decision sequences for identical inputs.
+func TestSameSeedSameDecisions(t *testing.T) {
+	plan := Plan{
+		C2S: LinkFaults{Drop: 0.1, Dup: 0.05, Reorder: 0.05, Corrupt: 0.02},
+		S2C: LinkFaults{Drop: 0.08},
+	}
+	a := NewEngine(42, plan)
+	b := NewEngine(42, plan)
+	for i := 0; i < 2000; i++ {
+		p := pkt(netproto.Port(33000+i%7), uint32(i*1460))
+		actA, delayA := a.LinkAction(p)
+		actB, delayB := b.LinkAction(p)
+		if actA != actB || delayA != delayB {
+			t.Fatalf("draw %d: engines diverged: (%v,%v) vs (%v,%v)", i, actA, delayA, actB, delayB)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	// A different seed must give a different sequence (overwhelmingly).
+	c := NewEngine(43, plan)
+	same := true
+	for i := 0; i < 2000; i++ {
+		p := pkt(netproto.Port(33000+i%7), uint32(i*1460))
+		actC, _ := c.LinkAction(p)
+		actA, _ := a.LinkAction(pkt(netproto.Port(33000+i%7), uint32(i*1460)))
+		_ = actA
+		if actC != actA {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical 2000-decision sequences")
+	}
+}
+
+// TestInterleaveIndependence: the fate of flow A's segments must not
+// depend on how flow B's segments interleave with them. This is the
+// property that keeps parallel-sweep runs bit-identical to serial
+// runs.
+func TestInterleaveIndependence(t *testing.T) {
+	plan := Plan{C2S: LinkFaults{Drop: 0.2, Dup: 0.1, Reorder: 0.1}}
+	flowA := func(i int) *netproto.Packet { return pkt(40000, uint32(i*1000)) }
+	flowB := func(i int) *netproto.Packet { return pkt(50000, uint32(i*1000)) }
+
+	// Order 1: A0 B0 A1 B1 A2 B2 ...
+	e1 := NewEngine(7, plan)
+	var seq1 []Action
+	for i := 0; i < 500; i++ {
+		a, _ := e1.LinkAction(flowA(i))
+		seq1 = append(seq1, a)
+		e1.LinkAction(flowB(i))
+	}
+	// Order 2: all of A, then all of B.
+	e2 := NewEngine(7, plan)
+	var seq2 []Action
+	for i := 0; i < 500; i++ {
+		a, _ := e2.LinkAction(flowA(i))
+		seq2 = append(seq2, a)
+	}
+	for i := 0; i < 500; i++ {
+		e2.LinkAction(flowB(i))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("flow A decision %d changed with interleaving: %v vs %v", i, seq1[i], seq2[i])
+		}
+	}
+}
+
+// TestOccurrenceRedraw: the same segment retransmitted gets a fresh
+// draw each time — it is not doomed to the same fate forever.
+func TestOccurrenceRedraw(t *testing.T) {
+	e := NewEngine(1, Plan{C2S: LinkFaults{Drop: 0.5}})
+	p := pkt(40000, 12345)
+	counts := map[Action]int{}
+	for i := 0; i < 200; i++ {
+		a, _ := e.LinkAction(p)
+		counts[a]++
+	}
+	if counts[Drop] == 0 || counts[None] == 0 {
+		t.Fatalf("200 redraws at p=0.5 should mix drops and passes, got %v", counts)
+	}
+	// And the redraw sequence itself is deterministic.
+	e2 := NewEngine(1, Plan{C2S: LinkFaults{Drop: 0.5}})
+	e3 := NewEngine(1, Plan{C2S: LinkFaults{Drop: 0.5}})
+	for i := 0; i < 200; i++ {
+		a2, _ := e2.LinkAction(p)
+		a3, _ := e3.LinkAction(p)
+		if a2 != a3 {
+			t.Fatalf("redraw %d diverged across same-seed engines", i)
+		}
+	}
+}
+
+// TestEmpiricalRates: over many distinct segments the injected rates
+// converge to the configured probabilities.
+func TestEmpiricalRates(t *testing.T) {
+	const n = 50000
+	plan := Plan{C2S: LinkFaults{Drop: 0.05, Dup: 0.03, Reorder: 0.02, Corrupt: 0.01}}
+	e := NewEngine(99, plan)
+	for i := 0; i < n; i++ {
+		e.LinkAction(pkt(netproto.Port(32768+i%16384), uint32(i)*1460))
+	}
+	s := e.Stats()
+	check := func(name string, got uint64, want float64) {
+		rate := float64(got) / n
+		if math.Abs(rate-want) > want*0.2+0.002 {
+			t.Errorf("%s rate %.4f, want ~%.4f", name, rate, want)
+		}
+	}
+	check("drop", s.LinkDrops, 0.05)
+	check("dup", s.LinkDups, 0.03)
+	check("reorder", s.LinkReorders, 0.02)
+	check("corrupt", s.LinkCorrupts, 0.01)
+}
+
+// TestAllocFailRate: AllocOK fails at roughly the configured rate and
+// a nil engine never fails.
+func TestAllocFailRate(t *testing.T) {
+	e := NewEngine(5, Plan{AllocFail: 0.1})
+	fails := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !e.AllocOK(SiteTCB, uint64(i)) {
+			fails++
+		}
+	}
+	rate := float64(fails) / n
+	if math.Abs(rate-0.1) > 0.02 {
+		t.Errorf("alloc-fail rate %.4f, want ~0.1", rate)
+	}
+	if e.Stats().AllocFails != uint64(fails) {
+		t.Errorf("stats count %d != observed %d", e.Stats().AllocFails, fails)
+	}
+	var nilEng *Engine
+	for i := 0; i < 100; i++ {
+		if !nilEng.AllocOK(SiteSocket, uint64(i)) {
+			t.Fatal("nil engine failed an allocation")
+		}
+	}
+	if a, d := nilEng.LinkAction(pkt(40000, 1)); a != None || d != 0 {
+		t.Fatalf("nil engine injected %v/%v", a, d)
+	}
+}
+
+// TestDropFirst: the first N segments in a direction are dropped
+// deterministically, before any probabilistic draw.
+func TestDropFirst(t *testing.T) {
+	e := NewEngine(1, Plan{S2C: LinkFaults{DropFirst: 2}})
+	s2c := &netproto.Packet{
+		Src:   netproto.Addr{IP: 0x0a000002, Port: 80},
+		Dst:   netproto.Addr{IP: 0x0a000001, Port: 40000},
+		Flags: netproto.SYN | netproto.ACK,
+	}
+	for i := 0; i < 2; i++ {
+		if a, _ := e.LinkAction(s2c); a != Drop {
+			t.Fatalf("segment %d: want Drop, got %v", i, a)
+		}
+	}
+	if a, _ := e.LinkAction(s2c); a != None {
+		t.Fatalf("third segment should pass, got %v", a)
+	}
+	// The C2S direction is untouched.
+	if a, _ := e.LinkAction(pkt(40000, 0)); a != None {
+		t.Fatal("DropFirst leaked into the other direction")
+	}
+	if e.Stats().LinkDrops != 2 {
+		t.Fatalf("LinkDrops = %d, want 2", e.Stats().LinkDrops)
+	}
+}
+
+// TestCorruptCopy truncates the payload and sets the bit without
+// mutating the original.
+func TestCorruptCopy(t *testing.T) {
+	p := pkt(40000, 1)
+	p.Payload = make([]byte, 100)
+	cp := CorruptCopy(p)
+	if !cp.Corrupt || len(cp.Payload) != 50 {
+		t.Fatalf("corrupt copy: Corrupt=%v len=%d", cp.Corrupt, len(cp.Payload))
+	}
+	if p.Corrupt || len(p.Payload) != 100 {
+		t.Fatal("CorruptCopy mutated the original packet")
+	}
+}
+
+// TestParsePlan round-trips specs and rejects malformed input.
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("loss=0.01,ring=256,allocfail=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.C2S.Drop != 0.01 || p.S2C.Drop != 0.01 || p.RingSize != 256 || p.AllocFail != 0.001 {
+		t.Fatalf("parsed plan %+v", p)
+	}
+	if !p.Enabled() || !p.LinkEnabled() {
+		t.Fatal("parsed plan should be enabled")
+	}
+	p, err = ParsePlan("dup=0.02, reorder=0.03, corrupt=0.04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.C2S.Dup != 0.02 || p.S2C.Reorder != 0.03 || p.C2S.Corrupt != 0.04 {
+		t.Fatalf("parsed plan %+v", p)
+	}
+	if p, err := ParsePlan(""); err != nil || p.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"loss", "loss=1.5", "loss=-0.1", "loss=x", "ring=abc", "bogus=1", "loss=0.01;dup=0.02"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted malformed spec", bad)
+		}
+	}
+	var zero Plan
+	if zero.Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+}
+
+// TestReorderDelayDefault: NewEngine fills in the 200us default.
+func TestReorderDelayDefault(t *testing.T) {
+	e := NewEngine(1, Plan{C2S: LinkFaults{Reorder: 0.999999}})
+	a, d := e.LinkAction(pkt(40000, 7))
+	if a == Reorder && d != 200*sim.Microsecond {
+		t.Fatalf("reorder delay %v, want 200us", d)
+	}
+	e2 := NewEngine(1, Plan{C2S: LinkFaults{Reorder: 0.999999, ReorderDelay: sim.Millisecond}})
+	a2, d2 := e2.LinkAction(pkt(40000, 7))
+	if a2 == Reorder && d2 != sim.Millisecond {
+		t.Fatalf("explicit reorder delay %v, want 1ms", d2)
+	}
+}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"fastsocket/internal/fault"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/nic"
 	"fastsocket/internal/sim"
@@ -71,6 +72,10 @@ type Config struct {
 	NICMode       nic.Mode
 	ATRSampleRate int
 	ATRTableSize  int
+	// RXRingSize is the per-queue RX descriptor count (0 =
+	// nic.DefaultRingSize; negative = unbounded). A fault plan's
+	// RingSize, when set, overrides this.
+	RXRingSize int
 
 	// RFDSalt XORs the RFD hash input (0 = plain mask).
 	RFDSalt uint16
@@ -114,6 +119,12 @@ type Config struct {
 	Costs *Costs
 	TCP   *tcp.Params
 	Seed  uint64
+
+	// Fault, when non-nil and enabled, injects deterministic faults at
+	// the link / NIC / allocation layers (see internal/fault). The
+	// engine is seeded from Seed, so identically-seeded runs make
+	// identical fault decisions.
+	Fault *fault.Plan
 }
 
 // withDefaults fills unset fields.
@@ -156,6 +167,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Feat.RFD {
 		c.RFS = false // RFD provides complete locality; RFS is moot
+	}
+	if c.Fault != nil && c.Fault.RingSize != 0 {
+		c.RXRingSize = c.Fault.RingSize
 	}
 	if c.Feat.LocalEst && !c.Feat.RFD {
 		// Local established tables are only correct under complete

@@ -13,11 +13,13 @@ import (
 	"fastsocket/internal/core"
 	"fastsocket/internal/cpu"
 	"fastsocket/internal/epoll"
+	"fastsocket/internal/fault"
 	"fastsocket/internal/ktimer"
 	"fastsocket/internal/lock"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/nic"
 	"fastsocket/internal/sim"
+	"fastsocket/internal/stats"
 	"fastsocket/internal/tcb"
 	"fastsocket/internal/tcp"
 	"fastsocket/internal/vfs"
@@ -37,6 +39,9 @@ type Stats struct {
 	Connects              uint64
 	ListenDrops           uint64
 	CookieAccepts         uint64
+	RetransSegs           uint64 // TCP segments resent by the RTO timer
+	CsumErrors            uint64 // corrupt frames discarded after checksum
+	AllocFails            uint64 // inode/dentry/TCB allocations failed under memory pressure
 }
 
 // sockExt is the kernel-side extension of a tcp.Sock (stored in
@@ -108,6 +113,10 @@ type Kernel struct {
 	portCursor netproto.Port
 	isn        uint32
 
+	// faults is the machine's fault-injection engine (nil-safe: nil
+	// means no fault plane is configured).
+	faults *fault.Engine
+
 	slockAgg lock.Stats // accumulated stats of destroyed sockets
 
 	acceptWakeAll bool
@@ -144,12 +153,16 @@ func New(loop *sim.Loop, cfg Config) *Kernel {
 	if c.MemPressurePerMilleCore > 0 && cfg.Cores > 1 {
 		k.machine.SetWorkScale(1000+c.MemPressurePerMilleCore*int64(cfg.Cores-1), 1000)
 	}
+	if cfg.Fault != nil && cfg.Fault.Enabled() {
+		k.faults = fault.NewEngine(cfg.Seed, *cfg.Fault)
+	}
 	k.l3 = cache.NewDomain(c.L3Miss, c.BgMissRate, k.rng)
 	k.nic = nic.New(nic.Config{
 		Queues:        cfg.Cores,
 		Mode:          cfg.NICMode,
 		ATRTableSize:  cfg.ATRTableSize,
 		ATRSampleRate: cfg.ATRSampleRate,
+		RingSize:      cfg.RXRingSize,
 	})
 	k.vfsl = vfs.NewLayer(cfg.vfsMode(), c.VFS, c.VFSBounce)
 	k.ehashLocks = lock.NewSharded("ehash.lock", cfg.EhashLockShards, c.LockBounce)
@@ -219,6 +232,36 @@ func (k *Kernel) Tables() *core.Tables { return k.tables }
 // Stats returns a snapshot of the kernel counters.
 func (k *Kernel) Stats() Stats { return k.stats }
 
+// Faults returns the fault-injection engine (nil when no plan is
+// configured; a nil engine is safe to call).
+func (k *Kernel) Faults() *fault.Engine { return k.faults }
+
+// SNMP assembles the netstat-style counter block from the kernel,
+// NIC, and listener state.
+func (k *Kernel) SNMP() stats.SNMP {
+	s := stats.SNMP{
+		RetransSegs:    k.stats.RetransSegs,
+		ListenDrops:    k.stats.ListenDrops,
+		SynCookiesRecv: k.stats.CookieAccepts,
+		RxRingDrops:    k.nic.Stats().RXRingDrops,
+		AllocFails:     k.stats.AllocFails,
+		CsumErrors:     k.stats.CsumErrors,
+	}
+	for _, lsk := range k.allListeners {
+		s.SynCookiesSent += lsk.CookiesSent
+		lex := ext(lsk).listen
+		if lex == nil {
+			continue
+		}
+		for core := 0; core < k.cfg.Cores; core++ {
+			if clone, ok := lex.clones[core]; ok {
+				s.SynCookiesSent += clone.CookiesSent
+			}
+		}
+	}
+	return s
+}
+
 // Rand returns the kernel's PRNG (for workload generators sharing the
 // deterministic stream).
 func (k *Kernel) Rand() *sim.Rand { return k.rng }
@@ -261,7 +304,12 @@ func (k *Kernel) Deliver(p *netproto.Packet) {
 	if k.tracer != nil {
 		k.tracer.Trace(0, p, q)
 	}
-	k.nic.EnqueueRX(q, p)
+	if !k.nic.EnqueueRX(q, p) {
+		// Ring full: hardware tail drop, no interrupt. The queue's
+		// NAPI poll is necessarily already pending (the ring can only
+		// be full if the kernel is behind on it).
+		return
+	}
 	k.scheduleNAPI(q)
 }
 
@@ -337,6 +385,13 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 		t.Charge(c.RxBase + c.RxPerByte*sim.Time(len(p.Payload)))
 	}
 
+	if p.Corrupt {
+		// Checksum failure: the full RX cost was paid before the
+		// verify, then the segment is discarded.
+		k.stats.CsumErrors++
+		return
+	}
+
 	if k.rfd != nil && !steered {
 		hasListener := func(a netproto.Addr) bool { return k.tables.HasListener(t, a) }
 		if target, active := k.rfd.Steer(p, hasListener); active && target != t.CoreID() {
@@ -376,6 +431,13 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 		// worker is uncorrelated with the RX core.
 		lsk, _ := k.tables.LookupListen(t, p.Dst, uint32(ft.Hash()>>13), k.cfg.Reuseport())
 		if lsk != nil {
+			if !k.faults.AllocOK(fault.SiteTCB, ft.Hash()^uint64(p.Seq)) {
+				// Memory pressure: the request-sock/TCB allocation
+				// fails and the SYN is silently dropped — the client's
+				// SYN retransmit will redraw.
+				k.stats.AllocFails++
+				return
+			}
 			lsk.Slock.Acquire(t)
 			k.touch(t, lsk)
 			before := lsk.DroppedSegs
@@ -397,6 +459,12 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 			// reconstruction touches the accept queue, inside
 			// Accepted.
 			t.Charge(c.CookieCheck)
+			if !k.faults.AllocOK(fault.SiteTCB, ft.Hash()^uint64(p.Ack)) {
+				// The reconstructed TCB cannot be allocated; drop the
+				// ACK (the client will retransmit data and redraw).
+				k.stats.AllocFails++
+				return
+			}
 			if child := tcp.AcceptCookieACK(k, t, lsk, p, c.LockBounce); child != nil {
 				k.stats.CookieAccepts++
 				return
@@ -569,7 +637,11 @@ func (k *Kernel) ArmRetransmit(t *cpu.Task, sk *tcp.Sock, d sim.Time) {
 	e.rtx = w.Arm(t, d, func(ht *cpu.Task) {
 		sk.Slock.Acquire(ht)
 		k.touch(ht, sk)
+		before := sk.Retransmits
 		tcp.RetransmitTimeout(k, ht, sk)
+		// SNMP RetransSegs aggregates the per-socket counters, so the
+		// two accountings agree by construction.
+		k.stats.RetransSegs += sk.Retransmits - before
 		sk.Slock.Release(ht)
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"fastsocket/internal/cpu"
 	"fastsocket/internal/epoll"
+	"fastsocket/internal/fault"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
 	"fastsocket/internal/tcp"
@@ -133,11 +134,17 @@ func (p *Process) run(t *cpu.Task) {
 
 // --- Syscall layer ----------------------------------------------------
 
-// Socket creates a TCP socket and returns its fd.
+// Socket creates a TCP socket and returns its fd, or -1 when the
+// inode/dentry allocation fails under injected memory pressure
+// (-ENOMEM to the application).
 func (p *Process) Socket(t *cpu.Task) int {
 	k := p.K
 	c := k.cfg.Costs
 	t.Charge(c.SockAlloc)
+	if !k.faults.AllocOK(fault.SiteSocket, 0) {
+		k.stats.AllocFails++
+		return -1
+	}
 	sk := tcp.NewSock(k.cfg.TCP, c.LockBounce)
 	e := &sockExt{sk: sk, owner: p, fd: -1}
 	sk.User = e
@@ -311,6 +318,25 @@ func (p *Process) Accept(t *cpu.Task, fd int) (int, bool) {
 
 	if child == nil {
 		k.stats.AcceptEmpty++
+		return -1, false
+	}
+	if !k.faults.AllocOK(fault.SiteAccept, child.Tuple().Hash()) {
+		// Memory pressure: the child's file allocation fails. The
+		// kernel resets the connection and accept() returns an error;
+		// nothing may leak — the TCB is unhashed and its timers
+		// cancelled via the abort path.
+		k.stats.AllocFails++
+		t.Charge(c.SendRST)
+		k.stats.RSTSent++
+		k.rawTransmit(t, &netproto.Packet{
+			Src:   child.Local,
+			Dst:   child.Remote,
+			Flags: netproto.RST,
+			Seq:   child.SndNxt,
+		})
+		child.Slock.Acquire(t)
+		tcp.Abort(k, t, child)
+		child.Slock.Release(t)
 		return -1, false
 	}
 	k.stats.Accepts++

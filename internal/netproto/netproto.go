@@ -114,6 +114,10 @@ type Packet struct {
 	Flags    Flags
 	Seq, Ack uint32
 	Payload  []byte
+	// Corrupt marks a frame damaged in flight (fault injection): the
+	// TCP checksum fails at the receiver and the segment is discarded
+	// after the RX processing cost has been paid.
+	Corrupt bool
 }
 
 // Len returns the total wire length in bytes.

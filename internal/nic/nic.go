@@ -20,10 +20,13 @@
 // ring NAPI-style: the first packet arriving on an idle queue raises
 // the interrupt (one SoftIRQ poll item); the poll then dequeues up to
 // a budget of segments per wakeup, so under load interrupts are
-// mitigated and one loop event carries a whole batch. The rings are
-// unbounded — like the pre-NAPI model, the simulation applies
-// backpressure through CPU saturation (SoftIRQ starving process
-// context), not through RX descriptor exhaustion.
+// mitigated and one loop event carries a whole batch. Each ring holds
+// a finite number of RX descriptors (Config.RingSize, default 512 as
+// on the 82599): when the kernel falls behind and a ring fills, the
+// hardware tail-drops the frame and counts it in RXRingDrops — the
+// rx_fifo_errors of ethtool. So backpressure comes both from CPU
+// saturation (SoftIRQ starving process context) and, past that, from
+// descriptor exhaustion.
 package nic
 
 import (
@@ -77,19 +80,31 @@ type Stats struct {
 	ATRSamples  uint64 // TX packets sampled into the ATR table
 	ATREvicts   uint64 // ATR entries overwritten by a colliding flow
 	RXRingMax   int    // high-water mark across the RX rings
+	RXRingDrops uint64 // frames tail-dropped on a full ring (rx_fifo_errors)
 }
 
 // Ring is a FIFO of packets: an RX descriptor ring on the NIC side,
 // and the same structure serves as the kernel's per-core softnet
-// backlog. Pop compacts lazily, so steady-state push/pop does not
-// allocate.
+// backlog (which stays unbounded). Pop compacts lazily, so
+// steady-state push/pop does not allocate.
 type Ring struct {
 	buf  []*netproto.Packet
 	head int
+	cap  int // descriptor count; 0 = unbounded
 }
 
-// Push appends a packet.
-func (r *Ring) Push(p *netproto.Packet) { r.buf = append(r.buf, p) }
+// SetCap bounds the ring to n entries (0 = unbounded).
+func (r *Ring) SetCap(n int) { r.cap = n }
+
+// Push appends a packet. It reports false — a tail drop — when the
+// ring is at capacity.
+func (r *Ring) Push(p *netproto.Packet) bool {
+	if r.cap > 0 && r.Len() >= r.cap {
+		return false
+	}
+	r.buf = append(r.buf, p)
+	return true
+}
 
 // Pop removes and returns the oldest packet.
 func (r *Ring) Pop() (*netproto.Packet, bool) {
@@ -128,7 +143,14 @@ type Config struct {
 	// connection setup packets dominate, so small flows rely on the
 	// early samples).
 	ATRSampleRate int
+	// RingSize is the per-queue RX descriptor count (0 = the 512
+	// default; negative = unbounded, the pre-PR behaviour).
+	RingSize int
 }
+
+// DefaultRingSize is the per-queue RX descriptor count, matching the
+// 82599's default ring configuration.
+const DefaultRingSize = 512
 
 // DefaultATRTableSize matches the 82599's default flow-director
 // allocation.
@@ -161,12 +183,21 @@ func New(cfg Config) *NIC {
 	if cfg.ATRSampleRate <= 0 {
 		cfg.ATRSampleRate = DefaultATRSampleRate
 	}
-	return &NIC{
+	if cfg.RingSize == 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	n := &NIC{
 		cfg:     cfg,
 		atr:     make([]atrEntry, cfg.ATRTableSize),
 		txCount: make([]uint64, cfg.Queues),
 		rings:   make([]Ring, cfg.Queues),
 	}
+	if cfg.RingSize > 0 {
+		for q := range n.rings {
+			n.rings[q].SetCap(cfg.RingSize)
+		}
+	}
+	return n
 }
 
 // Mode returns the configured steering mode.
@@ -213,17 +244,21 @@ func (n *NIC) SteerRX(p *netproto.Packet) int {
 	return n.rss(ft)
 }
 
-// EnqueueRX places a steered packet in queue q's RX ring, returning
-// true when the ring was empty — the moment real hardware raises the
-// RX interrupt (NAPI re-arms it only after the poll drains the ring).
+// EnqueueRX places a steered packet in queue q's RX ring. It reports
+// false when the ring was full and the frame was tail-dropped
+// (counted in RXRingDrops); no interrupt is raised for a dropped
+// frame. A full ring implies the queue's NAPI poll is already
+// pending, so callers need not (and must not) schedule one on drop.
 func (n *NIC) EnqueueRX(q int, p *netproto.Packet) bool {
 	r := &n.rings[q]
-	wasEmpty := r.Len() == 0
-	r.Push(p)
+	if !r.Push(p) {
+		n.stats.RXRingDrops++
+		return false
+	}
 	if l := r.Len(); l > n.stats.RXRingMax {
 		n.stats.RXRingMax = l
 	}
-	return wasEmpty
+	return true
 }
 
 // PollRX dequeues the oldest packet of queue q's RX ring.

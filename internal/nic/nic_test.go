@@ -190,3 +190,39 @@ func TestStatsCounting(t *testing.T) {
 		t.Error("ResetStats did not clear")
 	}
 }
+
+func TestRingTailDrop(t *testing.T) {
+	n := New(Config{Queues: 1, RingSize: 4})
+	for i := 0; i < 6; i++ {
+		ok := n.EnqueueRX(0, pktFor(flow(i)))
+		if want := i < 4; ok != want {
+			t.Fatalf("EnqueueRX #%d = %v, want %v", i, ok, want)
+		}
+	}
+	if got := n.RXBacklog(0); got != 4 {
+		t.Fatalf("backlog = %d, want 4 (ring bounded)", got)
+	}
+	if got := n.Stats().RXRingDrops; got != 2 {
+		t.Fatalf("RXRingDrops = %d, want 2", got)
+	}
+	// Draining frees descriptors again.
+	n.PollRX(0)
+	if !n.EnqueueRX(0, pktFor(flow(9))) {
+		t.Fatal("EnqueueRX after drain should succeed")
+	}
+}
+
+func TestRingDefaultAndUnbounded(t *testing.T) {
+	if n := New(Config{Queues: 1}); n.cfg.RingSize != DefaultRingSize {
+		t.Fatalf("default ring size = %d, want %d", n.cfg.RingSize, DefaultRingSize)
+	}
+	n := New(Config{Queues: 1, RingSize: -1})
+	for i := 0; i < 2*DefaultRingSize; i++ {
+		if !n.EnqueueRX(0, pktFor(flow(i))) {
+			t.Fatal("unbounded ring tail-dropped")
+		}
+	}
+	if n.Stats().RXRingDrops != 0 {
+		t.Fatal("unbounded ring counted drops")
+	}
+}

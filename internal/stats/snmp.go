@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SNMP is the netstat -s style counter block the kernel exports:
+// protocol-level totals that the robustness experiments report
+// alongside throughput. Field order is fixed and Format renders it
+// deterministically.
+type SNMP struct {
+	RetransSegs    uint64 // TCP segments retransmitted
+	ListenDrops    uint64 // SYNs dropped at a listen socket (backlog/SYN queue)
+	SynCookiesSent uint64 // SYN-ACKs answered with a stateless cookie
+	SynCookiesRecv uint64 // connections reconstructed from a valid cookie ACK
+	RxRingDrops    uint64 // frames tail-dropped on a full NIC RX ring
+	AllocFails     uint64 // inode/dentry/TCB allocations failed (memory pressure)
+	CsumErrors     uint64 // corrupt frames discarded after checksum verify
+}
+
+// Sub returns the counter deltas s - o.
+func (s SNMP) Sub(o SNMP) SNMP {
+	return SNMP{
+		RetransSegs:    s.RetransSegs - o.RetransSegs,
+		ListenDrops:    s.ListenDrops - o.ListenDrops,
+		SynCookiesSent: s.SynCookiesSent - o.SynCookiesSent,
+		SynCookiesRecv: s.SynCookiesRecv - o.SynCookiesRecv,
+		RxRingDrops:    s.RxRingDrops - o.RxRingDrops,
+		AllocFails:     s.AllocFails - o.AllocFails,
+		CsumErrors:     s.CsumErrors - o.CsumErrors,
+	}
+}
+
+// Format renders the block in netstat -s style.
+func (s SNMP) Format() string {
+	var b strings.Builder
+	b.WriteString("Tcp:\n")
+	fmt.Fprintf(&b, "    %d segments retransmitted (RetransSegs)\n", s.RetransSegs)
+	fmt.Fprintf(&b, "    %d SYNs to LISTEN sockets dropped (ListenDrops)\n", s.ListenDrops)
+	fmt.Fprintf(&b, "    %d SYN cookies sent (SynCookiesSent)\n", s.SynCookiesSent)
+	fmt.Fprintf(&b, "    %d SYN cookies received (SynCookiesRecv)\n", s.SynCookiesRecv)
+	b.WriteString("Dev:\n")
+	fmt.Fprintf(&b, "    %d frames dropped on full RX ring (RxRingDrops)\n", s.RxRingDrops)
+	fmt.Fprintf(&b, "    %d checksum errors (CsumErrors)\n", s.CsumErrors)
+	b.WriteString("Mem:\n")
+	fmt.Fprintf(&b, "    %d socket allocation failures (AllocFails)\n", s.AllocFails)
+	return b.String()
+}

@@ -99,3 +99,43 @@ func TestSerialFallback(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelLossSweepMatchesSerial runs the fault-injection loss
+// sweep serially and on a 4-worker pool: per-flow-seeded fault
+// decisions must keep every cell — goodput, tail latency and SNMP
+// error counters — bit-identical regardless of dispatch.
+func TestParallelLossSweepMatchesSerial(t *testing.T) {
+	cores := []int{2}
+	rates := []float64{0, 0.01, 0.03}
+
+	serial := experiment.LossSweep(cores, rates, smallOpts())
+
+	o := smallOpts()
+	o.Runner = sweep.Parallel{Workers: 4}
+	parallel := experiment.LossSweep(cores, rates, o)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel loss sweep differs from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	if s, p := serial.Format(), parallel.Format(); s != p {
+		t.Errorf("rendered loss sweep differs:\n--- serial\n%s--- parallel\n%s", s, p)
+	}
+}
+
+// TestParallelOverloadMatchesSerial dispatches the two overload ramps
+// (cookies off/on) on parallel workers and requires byte-identical
+// results — the ramps each own a fault-capable kernel and an open-loop
+// client, so this covers the heaviest composite simulation.
+func TestParallelOverloadMatchesSerial(t *testing.T) {
+	serial := experiment.Overload(smallOpts())
+
+	o := smallOpts()
+	o.Runner = sweep.Parallel{Workers: 2}
+	parallel := experiment.Overload(o)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel overload differs from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}

@@ -472,6 +472,11 @@ func abort(env Env, t *cpu.Task, sk *Sock) {
 	env.Destroy(t, sk)
 }
 
+// Abort tears a connection down unilaterally (resource exhaustion,
+// RST-on-accept-failure): state to CLOSED, readers see EOF, kernel
+// resources released via Destroy. Caller holds the slock.
+func Abort(env Env, t *cpu.Task, sk *Sock) { abort(env, t, sk) }
+
 // ErrReset is reported when a connection is aborted by RST or
 // retransmission exhaustion.
 var ErrReset = fmt.Errorf("tcp: connection reset")

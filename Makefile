@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint test bench bench-go figures quick-figures faults examples clean
+.PHONY: all build lint vet test bench bench-go figures quick-figures faults examples clean
 
 all: build test
 
@@ -15,7 +15,18 @@ lint:
 	go vet ./...
 	go run ./cmd/fslint ./...
 
-test: lint
+# Typed whole-program analysis (fsvet): interprocedural determinism,
+# reachability, units, lock order, charge accounting and pooled-handle
+# escape checks, plus the static<->runtime lockdep cross-check against
+# the committed experiment mix. Fails on any unbaselined finding or on
+# an observed lock-order edge the static graph missed. Refreshes the
+# committed observed graph and timing record.
+vet:
+	go run ./cmd/fsvet -root . -baseline .fsvet-baseline.json \
+		-lockdep-cross-check -write-observed LOCKGRAPH_observed.json \
+		-bench-out BENCH_vet.json
+
+test: lint vet
 	go test ./...
 
 # Full test run recorded to test_output.txt (what CI would archive).

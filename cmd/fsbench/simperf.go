@@ -167,6 +167,49 @@ func simperfEngine(name string, n int, cancel bool) simperfEngineRun {
 	return r
 }
 
+// simperfSparsePoll measures the sparse long-lived workload that the
+// wheel-aware RunUntil fast-forward targets: a few hundred keep-alive
+// timers ~200ms out, a driver polling in 1ms windows, and a handful of
+// timer re-arms (cancel + reschedule) per window. Idle windows resolve
+// as O(levels) occupancy-bitmap peeks and the timers stay in the wheel
+// tier where Cancel is an O(1) unlink. One op = one polled window.
+func simperfSparsePoll(name string, n int) simperfEngineRun {
+	const (
+		conns     = 256
+		keepalive = 200 * sim.Millisecond
+		rearms    = 8
+	)
+	fn := func() {}
+	loop := sim.NewLoop()
+	timers := make([]sim.Event, conns)
+	for j := range timers {
+		timers[j] = loop.At(keepalive+sim.Time(j)*1563*sim.Nanosecond, fn)
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	next := 0
+	for w := 0; w < n; w++ {
+		loop.RunUntil(loop.Now() + sim.Millisecond)
+		for r := 0; r < rearms; r++ {
+			c := next % conns
+			next++
+			timers[c].Cancel()
+			timers[c] = loop.After(keepalive, fn)
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	r := simperfEngineRun{Name: name, Ops: n}
+	r.NsPerOp = float64(wall.Nanoseconds()) / float64(n)
+	r.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(n)
+	r.EventsPerSec = float64(n) / wall.Seconds()
+	return r
+}
+
 // runSimperf executes both sections and writes BENCH_simperf.json.
 func runSimperf() string {
 	rep := simperfReport{
@@ -190,6 +233,7 @@ func runSimperf() string {
 	rep.Engine = append(rep.Engine,
 		simperfEngine("schedule_fire", ops, false),
 		simperfEngine("schedule_cancel", ops, true),
+		simperfSparsePoll("sparse_idle_poll", 100_000),
 	)
 
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -18,6 +18,7 @@ import (
 	"fastsocket/internal/app"
 	"fastsocket/internal/fault"
 	"fastsocket/internal/kernel"
+	"fastsocket/internal/lock"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
 	"fastsocket/internal/trace"
@@ -30,6 +31,7 @@ func main() {
 		runMS     = flag.Int("run", 5, "simulated milliseconds of traffic before the snapshot")
 		pcapPath  = flag.String("pcap", "", "also dump the packet trace to this file (tcpdump/wireshark readable)")
 		faultSpec = flag.String("faults", "", "fault plan, e.g. loss=0.01,ring=256,allocfail=0.001 (exercises the SNMP counters)")
+		lockgraph = flag.Bool("lockgraph", false, "run with lockdep enabled and print the observed lock-order graph as JSON")
 	)
 	flag.Parse()
 
@@ -57,6 +59,9 @@ func main() {
 		}
 		cfg.Fault = &plan
 	}
+	if *lockgraph {
+		lock.EnableLockdep()
+	}
 	loop := sim.NewLoop()
 	netw := app.NewNetwork(loop, 20*sim.Microsecond)
 	k := kernel.New(loop, cfg)
@@ -75,6 +80,18 @@ func main() {
 	})
 	cli.Start()
 	loop.RunUntil(sim.Time(*runMS) * sim.Millisecond)
+
+	if *lockgraph {
+		if v := lock.LockdepViolations(); len(v) != 0 {
+			fmt.Fprintf(os.Stderr, "fsnetstat: lockdep violations:\n")
+			for _, s := range v {
+				fmt.Fprintln(os.Stderr, "  "+s)
+			}
+			os.Exit(1)
+		}
+		os.Stdout.Write(lock.Lockdep().GraphJSON())
+		return
+	}
 
 	fmt.Printf("fsnetstat — simulated /proc/net/tcp of a %d-core %s kernel (t=%v, %d requests served)\n\n",
 		*cores, mode, loop.Now(), srv.Served)

@@ -1,0 +1,172 @@
+// Command fsvet runs the types-aware analysis suite over the module:
+// whole-program type-check, six interprocedural passes, and the
+// static↔runtime lockdep cross-check.
+//
+//	fsvet [-root dir] [-json] [-baseline file] [-lockgraph]
+//	      [-lockdep-cross-check] [-write-observed file] [-bench-out file]
+//
+// Exit status is 1 if any unbaselined finding remains or the
+// cross-check sees an observed lock-order edge the static graph
+// missed (an analyzer bug), 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fastsocket/internal/experiment"
+	"fastsocket/internal/lock"
+	"fastsocket/internal/sim"
+	"fastsocket/internal/vet"
+)
+
+func main() {
+	var (
+		root       = flag.String("root", ".", "module root to analyze")
+		jsonOut    = flag.Bool("json", false, "emit findings and lock graph as JSON")
+		baseline   = flag.String("baseline", "", "baseline file of accepted findings (JSON)")
+		lockgraph  = flag.Bool("lockgraph", false, "print the static lock-order graph and exit")
+		crosscheck = flag.Bool("lockdep-cross-check", false,
+			"run the committed experiment suite under runtime lockdep and diff observed vs static lock-order edges")
+		writeObserved = flag.String("write-observed", "", "write the observed lockdep graph JSON to this file (implies -lockdep-cross-check)")
+		benchOut      = flag.String("bench-out", "", "write analysis timing JSON to this file")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	prog, err := vet.Load(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+		os.Exit(2)
+	}
+	res := vet.Run(prog)
+	analysis := time.Since(start)
+
+	if *lockgraph {
+		b, err := json.MarshalIndent(res.LockGraph, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return
+	}
+
+	findings := res.Findings
+	var stale []vet.Finding
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			os.Exit(2)
+		}
+		base, err := vet.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			os.Exit(2)
+		}
+		findings, stale = vet.ApplyBaseline(findings, base)
+	}
+
+	fail := false
+	if *jsonOut {
+		out := &vet.Result{Findings: findings, LockGraph: res.LockGraph}
+		os.Stdout.Write(out.JSON())
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fail = true
+	}
+	for _, f := range stale {
+		fmt.Fprintf(os.Stderr, "fsvet: stale baseline entry (fixed? prune it): %s\n", f)
+	}
+
+	var ccSeconds float64
+	if *crosscheck || *writeObserved != "" {
+		ccStart := time.Now()
+		observed, observedJSON := runInstrumentedSuite()
+		ccSeconds = time.Since(ccStart).Seconds()
+		if *writeObserved != "" {
+			if err := os.WriteFile(*writeObserved, observedJSON, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		cc := vet.CrossCheck(res.LockGraph, observed)
+		fmt.Fprintln(os.Stderr, cc.Summary())
+		for _, e := range cc.Missing {
+			fmt.Fprintf(os.Stderr, "fsvet: ANALYZER BUG: observed edge %s -> %s not in static graph (sites: %v)\n",
+				e.Outer, e.Inner, e.Sites)
+		}
+		for _, e := range cc.Untested {
+			fmt.Fprintf(os.Stderr, "fsvet: note: static edge %s -> %s never observed (untested lock interaction)\n",
+				e.Outer, e.Inner)
+		}
+		if !cc.OK() {
+			fail = true
+		}
+	}
+
+	if *benchOut != "" {
+		files := 0
+		for _, ip := range prog.Paths {
+			files += len(prog.Files[ip])
+		}
+		bench := map[string]any{
+			"tool":               "fsvet",
+			"packages":           len(prog.Paths),
+			"files":              files,
+			"analysis_seconds":   analysis.Seconds(),
+			"crosscheck_seconds": ccSeconds,
+			"findings":           len(findings),
+			"static_lock_edges":  len(res.LockGraph),
+		}
+		b, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*benchOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// runInstrumentedSuite replays the committed experiment mix — the same
+// one the determinism regression gate runs — with runtime lockdep
+// enabled, and returns the observed lock-order edges plus their JSON
+// rendering (captured before lockdep is disabled, which resets the
+// tracker). Any lockdep violation here is fatal: the experiments
+// themselves must be clean before their order graph means anything.
+func runInstrumentedSuite() ([]lock.ObservedEdge, []byte) {
+	lock.EnableLockdep()
+	defer lock.DisableLockdep()
+	small := experiment.Options{
+		Warmup:             10 * sim.Millisecond,
+		Window:             10 * sim.Millisecond,
+		ConcurrencyPerCore: 50,
+	}
+	for _, spec := range experiment.StockKernels() {
+		experiment.Measure(spec, experiment.WebBench, 4, small)
+	}
+	experiment.Measure(experiment.StockKernels()[2], experiment.ProxyBench, 4, small)
+	if v := lock.LockdepViolations(); len(v) != 0 {
+		fmt.Fprintf(os.Stderr, "fsvet: lockdep violations during instrumented run:\n")
+		for _, s := range v {
+			fmt.Fprintln(os.Stderr, "  "+s)
+		}
+		os.Exit(2)
+	}
+	return lock.Lockdep().Edges(), lock.Lockdep().GraphJSON()
+}

@@ -362,7 +362,7 @@ func (p *Process) Connect(t *cpu.Task, fd int, raddr netproto.Addr) error {
 	if localIP == 0 {
 		localIP = k.cfg.IPs[0]
 	}
-	port, ok := k.allocPort(t, p.Core, localIP)
+	port, ok := k.allocPort(p.Core, localIP)
 	if !ok {
 		return fmt.Errorf("kernel: ephemeral ports exhausted on %v", localIP)
 	}
@@ -385,8 +385,9 @@ func (p *Process) Connect(t *cpu.Task, fd int, raddr netproto.Addr) error {
 }
 
 // allocPort picks an ephemeral source port: RFD-aware when the module
-// is loaded, a simple cursor otherwise.
-func (k *Kernel) allocPort(t *cpu.Task, coreID int, ip netproto.IP) (netproto.Port, bool) {
+// is loaded, a simple cursor otherwise. It takes no task: the scan is
+// part of the connect syscall, charged by the caller.
+func (k *Kernel) allocPort(coreID int, ip netproto.IP) (netproto.Port, bool) {
 	inUse := func(p netproto.Port) bool {
 		return k.usedPorts[netproto.Addr{IP: ip, Port: p}]
 	}

@@ -121,6 +121,50 @@ func TestLockdepShardsShareAClass(t *testing.T) {
 	expectViolation(t) // none
 }
 
+func TestLockdepObservedGraph(t *testing.T) {
+	EnableLockdep()
+	defer DisableLockdep()
+	a := New("a", 0)
+	b := New("b", 0)
+	c := New("c", 0)
+	ctx := &fakeCtx{}
+	a.Acquire(ctx)
+	b.Acquire(ctx) // a -> b
+	c.Acquire(ctx) // a -> c, b -> c
+	c.Release(ctx)
+	b.Release(ctx)
+	a.Release(ctx)
+
+	edges := Lockdep().Edges()
+	var got []string
+	for _, e := range edges {
+		got = append(got, e.Outer+"->"+e.Inner)
+	}
+	want := []string{"a->b", "a->c", "b->c"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("observed edges = %v, want %v", got, want)
+	}
+	for _, e := range edges {
+		if len(e.Sites) == 0 {
+			t.Errorf("edge %s->%s has no acquisition site", e.Outer, e.Inner)
+		}
+		for _, s := range e.Sites {
+			if strings.Contains(s, "/internal/lock.") {
+				t.Errorf("edge %s->%s site %q is inside internal/lock; want the caller", e.Outer, e.Inner, s)
+			}
+		}
+	}
+
+	j1 := Lockdep().GraphJSON()
+	j2 := Lockdep().GraphJSON()
+	if string(j1) != string(j2) {
+		t.Error("GraphJSON not stable across calls")
+	}
+	if !strings.Contains(string(j1), `"outer": "a"`) {
+		t.Errorf("GraphJSON missing edge fields:\n%s", j1)
+	}
+}
+
 func TestLockdepDisabledIsFree(t *testing.T) {
 	DisableLockdep()
 	l := New("off", 0)

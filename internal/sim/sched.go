@@ -336,6 +336,27 @@ func (l *Loop) cascade(lvl, slot int) {
 	l.stats.Cascades++
 }
 
+// dueBy reports whether any event can be due at or before t, without
+// touching the wheel. The live heap top is exact; for the wheel the
+// earliest occupied slot's start time (wheelNext, O(levels) bitmap
+// scan) lower-bounds every deadline the wheel holds, so a start after
+// t proves nothing wheel-resident is due. This is RunUntil's
+// fast-forward guard: a false return lets it advance the clock past
+// arbitrarily many empty level-0 slots without a single cascade.
+func (l *Loop) dueBy(t Time) bool {
+	l.skimTop()
+	if len(l.heap) > 0 && l.heap[0].at <= t {
+		return true
+	}
+	if l.wheelCount > 0 {
+		if start, _, _ := l.wheelNext(); start <= t {
+			return true
+		}
+		l.stats.FastForwards++
+	}
+	return false
+}
+
 // next surfaces the earliest live event at the heap top, cascading
 // any wheel slot that starts at or before the heap's earliest entry
 // first (<= so that an equal-deadline wheel event with a smaller seq

@@ -123,6 +123,7 @@ type SchedStats struct {
 	CancelledWheel uint64 // O(1) wheel unlinks
 	Cascades       uint64 // wheel slots migrated toward the heap
 	Reaps          uint64 // eager compactions of stale heap entries
+	FastForwards   uint64 // RunUntil returns that skipped all wheel work
 }
 
 // Loop is a discrete-event loop. The zero value is not usable; call
@@ -241,9 +242,23 @@ func (l *Loop) Run() {
 
 // RunUntil executes events with timestamps <= t, then sets the clock
 // to exactly t. Events scheduled after t remain pending.
+//
+// When the loop is idle up to t — the live heap top and the earliest
+// occupied wheel slot both start after t — RunUntil fast-forwards: it
+// advances the clock without cascading any wheel slot, so a window-at-
+// a-time driver polling a loop whose only pending work is far-future
+// timers (armed RTOs, keep-alive ticks on long-lived connections) pays
+// O(levels) per window instead of migrating timers heapward each call.
+// A slot's start time lower-bounds every deadline in it, so skipping a
+// slot that starts after t can never skip a due event, and events that
+// do fire still cascade through next() in exact (at, seq) order —
+// firing order is identical with or without the fast path.
 func (l *Loop) RunUntil(t Time) {
 	l.stopped = false
 	for !l.stopped {
+		if !l.dueBy(t) {
+			break
+		}
 		at, ok := l.next()
 		if !ok || at > t {
 			break

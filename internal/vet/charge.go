@@ -1,0 +1,245 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The charge pass enforces the accounting invariant behind every
+// published figure: simulated work must cost virtual time on exactly
+// one core. A function in a restricted package that takes a charging
+// context (*cpu.Task or the lock.Context interface) and mutates
+// kernel/TCB/VFS state — receiver fields, pointer-parameter fields,
+// package state — but can complete without any Charge/Spin call
+// (directly or through any callee, including lock acquisition, which
+// charges internally) makes that work free, silently deflating the
+// cost model the kernels are compared under.
+//
+// Helpers without a context parameter are exempt by design: they
+// cannot charge, so their cost is attributed at the calling syscall or
+// softirq boundary — the pass exists to catch the functions that were
+// *given* the meter and didn't run it.
+
+// chargePkgs are the restricted packages whose state the invariant
+// covers.
+var chargePkgs = map[string]bool{
+	"kernel": true, "tcb": true, "vfs": true, "tcp": true,
+	"nic": true, "epoll": true, "ktimer": true, "core": true,
+}
+
+func (v *vetter) checkCharge(cg *callGraph) {
+	mayCharge := computeMayCharge(v.prog, cg)
+	for _, fn := range cg.funcs {
+		ip := cg.pkgOf[fn]
+		rest, ok := strings.CutPrefix(PkgDir(ip), "internal/")
+		if !ok {
+			continue
+		}
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		if !chargePkgs[rest] {
+			continue
+		}
+		ctxParam := chargingContextParam(v.prog, fn)
+		if ctxParam == "" {
+			continue
+		}
+		if mayCharge[fn] {
+			continue
+		}
+		mutPos, mutDesc := firstMutation(v.prog, cg.decls[fn])
+		if !mutPos.IsValid() {
+			continue
+		}
+		v.report(mutPos, PassCharge,
+			"%s takes charging context %q and mutates %s but never calls Charge/Spin (directly or transitively): simulated work is free on this path",
+			qualifiedName(fn), ctxParam, mutDesc)
+	}
+}
+
+// chargingContextParam returns the name of the first *cpu.Task or
+// lock.Context parameter (receiver excluded), or "".
+func chargingContextParam(p *Program, fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		prm := sig.Params().At(i)
+		if isChargingContextType(prm.Type()) {
+			if prm.Name() != "" && prm.Name() != "_" {
+				return prm.Name()
+			}
+			return "arg" // unnamed context parameter still counts
+		}
+	}
+	return ""
+}
+
+func isChargingContextType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return (path == ModPath+"/internal/cpu" && name == "Task") ||
+		(path == ModPath+"/internal/lock" && name == "Context")
+}
+
+// computeMayCharge is a fixpoint over the call graph: a function may
+// charge if it calls Task.Charge/Task.Spin, any implementation of
+// lock.Context's Charge/Spin (interface calls devirtualize), or a
+// callee that may.
+func computeMayCharge(p *Program, cg *callGraph) map[*types.Func]bool {
+	may := map[*types.Func]bool{}
+	for _, fn := range cg.funcs {
+		if directCharge(p, cg, fn) {
+			may[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.funcs {
+			if may[fn] {
+				continue
+			}
+			for _, c := range cg.callees[fn] {
+				if may[c] {
+					may[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return may
+}
+
+func directCharge(p *Program, cg *callGraph, fn *types.Func) bool {
+	found := false
+	ast.Inspect(cg.decls[fn].Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		m := cg.staticCallee(call)
+		if m == nil {
+			m = cg.ifaceCallee(call)
+		}
+		if m == nil || m.Pkg() == nil {
+			return true
+		}
+		if m.Name() != "Charge" && m.Name() != "Spin" {
+			return true
+		}
+		switch m.Pkg().Path() {
+		case ModPath + "/internal/cpu", ModPath + "/internal/lock":
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// firstMutation finds the first statement that mutates reachable
+// state: a store through a selector or index rooted at the receiver, a
+// pointer parameter or package-level variable; an IncDec of the same;
+// or a delete() on such a map. Pure-local mutation (locals, value
+// params) does not count.
+func firstMutation(p *Program, fd *ast.FuncDecl) (pos token.Pos, desc string) {
+	info := p.Info
+	roots := map[types.Object]string{}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, n := range f.Names {
+				if obj := info.Defs[n]; obj != nil {
+					roots[obj] = "receiver " + n.Name
+				}
+			}
+		}
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, n := range f.Names {
+			obj := info.Defs[n]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+				roots[obj] = "*" + n.Name
+			}
+		}
+	}
+
+	classify := func(e ast.Expr) (string, bool) {
+		// Walk to the root identifier of a selector/index chain; the
+		// chain must have at least one selector/index (a bare local
+		// store is local).
+		depth := 0
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				depth++
+				e = x.X
+			case *ast.IndexExpr:
+				depth++
+				e = x.X
+			case *ast.StarExpr:
+				depth++
+				e = x.X
+			case *ast.Ident:
+				obj := info.ObjectOf(x)
+				if obj == nil {
+					return "", false
+				}
+				if desc, ok := roots[obj]; ok && depth > 0 {
+					return desc + " state", true
+				}
+				if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+					return "package state (" + x.Name + ")", true
+				}
+				return "", false
+			default:
+				return "", false
+			}
+		}
+	}
+
+	var found token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if d, ok := classify(lhs); ok {
+					found, desc = lhs.Pos(), d
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if d, ok := classify(n.X); ok {
+				found, desc = n.X.Pos(), d
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if d, ok := classify(n.Args[0]); ok {
+					found, desc = n.Pos(), d
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found, desc
+}

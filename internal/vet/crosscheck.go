@@ -1,0 +1,82 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"fastsocket/internal/lock"
+)
+
+// CrossCheck compares the static lock-order graph against the order
+// graph runtime lockdep observed during an instrumented run. The two
+// directions mean different things:
+//
+//   - An observed edge missing from the static graph is an analyzer
+//     bug: the runtime proved two lock classes nest in that order, so a
+//     sound over-approximation must contain the edge. These fail the
+//     build.
+//   - A static edge never observed is informational: the
+//     over-approximation found a nesting no committed experiment
+//     exercises — untested lock interaction, or conservatism (e.g. a
+//     devirtualized callee that cannot fire on that path).
+type CrossCheckResult struct {
+	// Missing are observed edges absent from the static graph
+	// (analyzer unsoundness; must be empty).
+	Missing []lock.ObservedEdge `json:"missing_from_static"`
+	// Untested are static edges never observed at runtime.
+	Untested []StaticEdge `json:"untested_static"`
+	// ObservedCount and StaticCount size the two graphs.
+	ObservedCount int `json:"observed_count"`
+	StaticCount   int `json:"static_count"`
+}
+
+func (r *CrossCheckResult) OK() bool { return len(r.Missing) == 0 }
+
+func (r *CrossCheckResult) Summary() string {
+	return fmt.Sprintf("lockdep cross-check: %d observed edges, %d static edges, %d observed-but-not-static (must be 0), %d static-but-not-observed (untested)",
+		r.ObservedCount, r.StaticCount, len(r.Missing), len(r.Untested))
+}
+
+// CrossCheck matches edges by (outer, inner) class pair.
+func CrossCheck(static []StaticEdge, observed []lock.ObservedEdge) *CrossCheckResult {
+	key := func(outer, inner string) string { return outer + "\x00" + inner }
+	inStatic := map[string]bool{}
+	for _, e := range static {
+		inStatic[key(e.Outer, e.Inner)] = true
+	}
+	inObserved := map[string]bool{}
+	for _, e := range observed {
+		inObserved[key(e.Outer, e.Inner)] = true
+	}
+	res := &CrossCheckResult{
+		ObservedCount: len(observed),
+		StaticCount:   len(static),
+		Missing:       []lock.ObservedEdge{},
+		Untested:      []StaticEdge{},
+	}
+	for _, e := range observed {
+		if !inStatic[key(e.Outer, e.Inner)] {
+			res.Missing = append(res.Missing, e)
+		}
+	}
+	for _, e := range static {
+		if !inObserved[key(e.Outer, e.Inner)] {
+			res.Untested = append(res.Untested, e)
+		}
+	}
+	sort.Slice(res.Missing, func(i, j int) bool {
+		a, b := res.Missing[i], res.Missing[j]
+		if a.Outer != b.Outer {
+			return a.Outer < b.Outer
+		}
+		return a.Inner < b.Inner
+	})
+	sort.Slice(res.Untested, func(i, j int) bool {
+		a, b := res.Untested[i], res.Untested[j]
+		if a.Outer != b.Outer {
+			return a.Outer < b.Outer
+		}
+		return a.Inner < b.Inner
+	})
+	return res
+}

@@ -1,0 +1,191 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The escape pass guards the pooled scheduler's weakest point:
+// sim.Event is a value handle (pool index + generation) into scheduler
+// storage that is recycled after the event fires or is cancelled. A
+// handle stored in a long-lived struct field outlives the event it
+// names, and using it later — rescheduling from it, reading At(),
+// comparing it — without first checking Live()/Cancelled() is the
+// simulation analogue of a use-after-free: the generation check inside
+// those two predicates is the only revalidation the pool offers.
+//
+// The rule: in any function that uses a struct field of type sim.Event
+// for something other than (a) storing a fresh handle into it or
+// (b) invoking Cancel/Live/Cancelled on it, the same function must
+// also consult Live() or Cancelled() on that field. Cancel is safe
+// unconditionally (it revalidates internally); Live/Cancelled are the
+// revalidation.
+func (v *vetter) checkEscape() {
+	// Inventory: struct fields of type sim.Event declared in restricted
+	// packages. Matching is by field object identity, so embedding and
+	// shadowing cannot confuse it.
+	eventFields := map[*types.Var]bool{}
+	for _, ip := range v.prog.Paths {
+		if !Restricted(ip) {
+			continue
+		}
+		scope := v.prog.Pkgs[ip].Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if f := st.Field(i); isSimEvent(f.Type()) {
+					eventFields[f] = true
+				}
+			}
+		}
+	}
+	if len(eventFields) == 0 {
+		return
+	}
+
+	for _, ip := range v.prog.Paths {
+		if !Restricted(ip) {
+			continue
+		}
+		for _, file := range v.prog.Files[ip] {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					v.escapeFunc(fd, eventFields)
+				}
+			}
+		}
+	}
+}
+
+func isSimEvent(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == ModPath+"/internal/sim" && n.Obj().Name() == "Event"
+}
+
+// escapeFunc classifies every use of an event field within one
+// function, tracked per field object.
+func (v *vetter) escapeFunc(fd *ast.FuncDecl, eventFields map[*types.Var]bool) {
+	info := v.prog.Info
+
+	// fieldOf resolves a selector to an inventoried event field.
+	fieldOf := func(e ast.Expr) *types.Var {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return nil
+		}
+		f, _ := s.Obj().(*types.Var)
+		if f != nil && eventFields[f] {
+			return f
+		}
+		return nil
+	}
+
+	type state struct {
+		risky     token.Pos // first risky use
+		riskyDesc string
+		validated bool // Live()/Cancelled() consulted somewhere in fn
+	}
+	uses := map[*types.Var]*state{}
+	get := func(f *types.Var) *state {
+		s := uses[f]
+		if s == nil {
+			s = &state{}
+			uses[f] = s
+		}
+		return s
+	}
+
+	// Store targets are collected first so the expression walk can skip
+	// them: assigning a fresh handle into the field is the point of the
+	// field existing.
+	stores := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if fieldOf(lhs) != nil {
+					stores[lhs] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Method call on the field: f.ev.Cancel() etc. The receiver
+		// selector (f.ev) is visited via this node's X.
+		if f := fieldOf(sel.X); f != nil {
+			s := get(f)
+			switch sel.Sel.Name {
+			case "Live", "Cancelled":
+				s.validated = true
+			case "Cancel":
+				// revalidates internally: safe.
+			default:
+				if !s.risky.IsValid() {
+					s.risky, s.riskyDesc = sel.Pos(), "method "+sel.Sel.Name
+				}
+			}
+			return false // X handled here; don't re-classify below
+		}
+		if f := fieldOf(sel); f != nil && !stores[ast.Expr(sel)] {
+			// Bare value use: copied, compared, passed along — the handle
+			// escapes the guarded idiom.
+			s := get(f)
+			if !s.risky.IsValid() {
+				s.risky, s.riskyDesc = sel.Pos(), "value use"
+			}
+		}
+		return true
+	})
+
+	for f, s := range uses {
+		if s.risky.IsValid() && !s.validated {
+			v.report(s.risky, PassEscape,
+				"pooled handle %s.%s used (%s) without Live()/Cancelled() revalidation in %s: the event may have fired and its slot been recycled",
+				fieldOwner(f), f.Name(), s.riskyDesc, fd.Name.Name)
+		}
+	}
+}
+
+// fieldOwner names the struct a field belongs to, best effort.
+func fieldOwner(f *types.Var) string {
+	if f.Pkg() == nil {
+		return "?"
+	}
+	scope := f.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return name
+			}
+		}
+	}
+	return f.Pkg().Name()
+}

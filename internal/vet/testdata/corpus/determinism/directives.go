@@ -1,0 +1,30 @@
+package corpus
+
+// RangeWaived is suppressed by a well-formed fsvet directive on the
+// line above the finding.
+func RangeWaived(r Registry) int {
+	n := 0
+	//fsvet:ignore determinism corpus: order-insensitive count
+	for range r {
+		n++
+	}
+	return n
+}
+
+// RangeWaivedByFslint is suppressed through the federated fslint
+// directive (determinism covers the typed determinism pass too).
+func RangeWaivedByFslint(r Registry) int {
+	n := 0
+	//fslint:ignore determinism corpus: order-insensitive count
+	for range r {
+		n++
+	}
+	return n
+}
+
+//fsvet:ignore nosuchpass testing // want "unknown pass \"nosuchpass\""
+
+// The next directive names a real pass but gives no reason; the test
+// body asserts the "needs a reason" finding directly (a want comment
+// here would become part of the directive itself).
+//fsvet:ignore units

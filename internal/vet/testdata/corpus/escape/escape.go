@@ -1,0 +1,33 @@
+// Golden corpus for the escape pass: sim.Event value handles stored in
+// struct fields must be revalidated with Live()/Cancelled() before any
+// other use; Cancel is safe unconditionally.
+package corpus
+
+import "fastsocket/internal/sim"
+
+type Holder struct {
+	ev sim.Event
+}
+
+// Arm stores a fresh handle: allowed.
+func (h *Holder) Arm(loop *sim.Loop, at sim.Time) {
+	h.ev = loop.At(at, func() {})
+}
+
+// Deadline reads through a possibly recycled handle.
+func (h *Holder) Deadline() sim.Time {
+	return h.ev.At() // want "without Live\(\)/Cancelled\(\) revalidation"
+}
+
+// DeadlineChecked revalidates first: clean.
+func (h *Holder) DeadlineChecked() sim.Time {
+	if !h.ev.Live() {
+		return 0
+	}
+	return h.ev.At()
+}
+
+// Stop relies on Cancel's internal generation check: clean.
+func (h *Holder) Stop() {
+	h.ev.Cancel()
+}

@@ -1,0 +1,10 @@
+// Non-restricted helper package for the reach corpus: wraps wall-clock
+// functionality so the restricted caller has no direct forbidden
+// import, only a call chain.
+package reachutil
+
+import "time"
+
+func WallClock() int64 { return time.Now().UnixNano() }
+
+func Pure(a, b int) int { return a + b }

@@ -1,0 +1,273 @@
+// Package vet implements fsvet, the types-aware half of the project's
+// static analysis (fslint in internal/analysis is the syntactic fast
+// half). fsvet type-checks the whole module with go/types — go.mod
+// stays dependency-free; only the standard library is used — and runs
+// interprocedural passes the syntactic analyzer cannot express:
+//
+//   - determinism: map iteration checked against real types (method-set
+//     resolution instead of name heuristics), with the same
+//     sorted-collect allowance as fslint.
+//   - reach: restricted-import reachability — restricted packages must
+//     not reach time/math/rand/sync functionality through any call
+//     chain, not merely avoid importing it directly. Exempt packages
+//     (internal/sweep) are barriers with their reason on record.
+//   - units: bare integer literals flowing into sim.Time positions,
+//     resolved through the type checker (parameters, conversions, and
+//     arithmetic mixing bare ints into sim.Time expressions).
+//   - lockorder: an interprocedural static lock-order graph. Held
+//     lock.SpinLock class sets propagate across the call graph
+//     (including interface devirtualization, e.g. tcp.Env to
+//     *kernel.Kernel); the pass reports potential order inversions and
+//     functions that can return while holding a lock they acquired.
+//   - charge: functions in restricted packages that mutate reachable
+//     kernel/TCB/VFS state on some path without charging virtual time
+//     (Charge/Spin, directly or transitively) — simulated work that
+//     would otherwise be free.
+//   - escape: sim.Event value handles stored in long-lived struct
+//     fields and later used without generation revalidation
+//     (Live/Cancelled) — use-after-free against the pooled scheduler.
+//
+// Findings are suppressible per line with
+//
+//	//fsvet:ignore <pass> <reason>
+//
+// on the finding's line or the line above. Existing //fslint:ignore
+// directives are honored too (determinism covers determinism+reach,
+// locks covers lockorder, units covers units), so a waiver audited for
+// fslint does not need to be duplicated. A committed baseline file
+// (JSON, same shape as -json output) can park pre-existing findings;
+// the repository's baseline is kept empty.
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Pass names, as used in findings and //fsvet:ignore directives.
+const (
+	PassDeterminism = "determinism"
+	PassReach       = "reach"
+	PassUnits       = "units"
+	PassLockOrder   = "lockorder"
+	PassCharge      = "charge"
+	PassEscape      = "escape"
+	// PassDirective flags malformed fsvet directives themselves.
+	PassDirective = "fsvet"
+)
+
+var knownPasses = map[string]bool{
+	PassDeterminism: true,
+	PassReach:       true,
+	PassUnits:       true,
+	PassLockOrder:   true,
+	PassCharge:      true,
+	PassEscape:      true,
+}
+
+// fslintRuleCovers maps an //fslint:ignore rule to the fsvet passes it
+// also suppresses: the typed passes re-check the same invariants, so
+// an audited fslint waiver keeps working without duplication.
+var fslintRuleCovers = map[string][]string{
+	"determinism": {PassDeterminism, PassReach},
+	"locks":       {PassLockOrder},
+	"units":       {PassUnits},
+}
+
+// Finding is one fsvet diagnostic with a stable, root-relative anchor.
+type Finding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Pass string `json:"pass"`
+	Msg  string `json:"msg"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Pass, f.Msg)
+}
+
+// key is the identity used for baseline matching: position column is
+// excluded so mechanical reformatting does not un-baseline a finding.
+func (f Finding) key() string {
+	return fmt.Sprintf("%s:%d [%s] %s", f.File, f.Line, f.Pass, f.Msg)
+}
+
+// Result is a complete fsvet run: the findings plus the static
+// lock-order graph (for the lockdep cross-check).
+type Result struct {
+	Findings  []Finding    `json:"findings"`
+	LockGraph []StaticEdge `json:"lock_graph"`
+}
+
+// JSON renders the result in a stable form: findings sorted by
+// position, lock graph sorted by (outer, inner). Two runs over the
+// same tree produce byte-identical output.
+func (r *Result) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic("vet: result marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// Run executes every pass over the program and returns the sorted,
+// unsuppressed findings plus the static lock graph.
+func Run(p *Program) *Result {
+	v := &vetter{prog: p, sup: collectDirectives(p)}
+	v.findings = append(v.findings, v.sup.malformed...)
+
+	cg := buildCallGraph(p)
+	v.checkDeterminism()
+	v.checkReach(cg)
+	v.checkUnits()
+	lockGraph := v.checkLocks(cg)
+	v.checkCharge(cg)
+	v.checkEscape()
+
+	sort.Slice(v.findings, func(i, j int) bool {
+		a, b := v.findings[i], v.findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+	return &Result{Findings: v.findings, LockGraph: lockGraph}
+}
+
+// ApplyBaseline removes findings recorded in the baseline, returning
+// the survivors and the baseline entries that no longer match (stale
+// entries should be pruned from the file).
+func ApplyBaseline(findings []Finding, baseline []Finding) (fresh, stale []Finding) {
+	base := map[string]int{}
+	for _, f := range baseline {
+		base[f.key()]++
+	}
+	for _, f := range findings {
+		if base[f.key()] > 0 {
+			base[f.key()]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, f := range baseline {
+		if base[f.key()] > 0 {
+			base[f.key()]--
+			stale = append(stale, f)
+		}
+	}
+	return fresh, stale
+}
+
+// ParseBaseline reads a baseline file: the JSON of a previous -json
+// run (a Result) or a bare finding list.
+func ParseBaseline(data []byte) ([]Finding, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err == nil && (r.Findings != nil || r.LockGraph != nil) {
+		return r.Findings, nil
+	}
+	var fs []Finding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("vet: baseline is neither a result nor a finding list: %w", err)
+	}
+	return fs, nil
+}
+
+// vetter carries the shared state of one Run.
+type vetter struct {
+	prog     *Program
+	sup      *suppressor
+	findings []Finding
+}
+
+// report files a finding unless a directive on its line (or the line
+// above) suppresses the pass.
+func (v *vetter) report(pos token.Pos, pass, format string, args ...any) {
+	tp := v.prog.RelPos(pos)
+	if v.sup.suppressed(tp.Filename, tp.Line, pass) {
+		return
+	}
+	v.findings = append(v.findings, Finding{
+		File: tp.Filename, Line: tp.Line, Col: tp.Column,
+		Pass: pass, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// --- Suppression directives ------------------------------------------
+
+type supKey struct {
+	file string
+	line int
+	pass string
+}
+
+type suppressor struct {
+	lines     map[supKey]bool
+	malformed []Finding
+}
+
+func (s *suppressor) suppressed(file string, line int, pass string) bool {
+	return s.lines[supKey{file, line, pass}] || s.lines[supKey{file, line - 1, pass}]
+}
+
+// collectDirectives gathers //fsvet:ignore directives (and the fslint
+// ones they federate with) across every loaded file. Malformed fsvet
+// directives are findings: they silently protect nothing.
+func collectDirectives(p *Program) *suppressor {
+	s := &suppressor{lines: map[supKey]bool{}}
+	for _, ip := range p.Paths {
+		for _, file := range p.Files[ip] {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					s.directive(p, c)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressor) directive(p *Program, c *ast.Comment) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	tp := p.RelPos(c.Pos())
+	switch {
+	case strings.HasPrefix(text, "fsvet:ignore"):
+		fields := strings.Fields(strings.TrimPrefix(text, "fsvet:ignore"))
+		switch {
+		case len(fields) == 0:
+			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
+				Pass: PassDirective, Msg: "fsvet:ignore needs a pass and a reason: //fsvet:ignore <pass> <reason>"})
+		case !knownPasses[fields[0]]:
+			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
+				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore names unknown pass %q (known: determinism, reach, units, lockorder, charge, escape)", fields[0])})
+		case len(fields) < 2:
+			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
+				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore %s needs a reason", fields[0])})
+		default:
+			s.lines[supKey{tp.Filename, tp.Line, fields[0]}] = true
+		}
+	case strings.HasPrefix(text, "fslint:ignore"):
+		// fslint validates its own directives; here we only honor the
+		// well-formed ones for the passes they cover.
+		fields := strings.Fields(strings.TrimPrefix(text, "fslint:ignore"))
+		if len(fields) < 2 {
+			return
+		}
+		for _, pass := range fslintRuleCovers[fields[0]] {
+			s.lines[supKey{tp.Filename, tp.Line, pass}] = true
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package vet
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fastsocket/internal/lock"
+)
+
+const repoRoot = "../.."
+
+// corpusOverlay maps synthetic module import paths to the golden
+// corpus directories. Paths under internal/kernel/ inherit
+// restricted-package status exactly as real code would; reachutil sits
+// outside internal/ so it is an unrestricted module helper.
+func corpusOverlay(t *testing.T) map[string]string {
+	t.Helper()
+	abs := func(dir string) string {
+		p, err := filepath.Abs(filepath.Join("testdata", "corpus", dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return map[string]string{
+		"fastsocket/internal/kernel/vetcorpus_det":    abs("determinism"),
+		"fastsocket/internal/kernel/vetcorpus_reach":  abs("reach"),
+		"fastsocket/internal/kernel/vetcorpus_units":  abs("units"),
+		"fastsocket/internal/kernel/vetcorpus_locks":  abs("lockorder"),
+		"fastsocket/internal/kernel/vetcorpus_charge": abs("charge"),
+		"fastsocket/internal/kernel/vetcorpus_escape": abs("escape"),
+		"fastsocket/vetcorpus/reachutil":              abs("reachutil"),
+	}
+}
+
+var wantRe = regexp.MustCompile(`// want "(.*)"`)
+
+type expectation struct {
+	file string // root-relative
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans corpus sources for // want "regexp" annotations.
+func collectWants(t *testing.T, overlay map[string]string) []expectation {
+	t.Helper()
+	root, err := filepath.Abs(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []expectation
+	for _, dir := range overlay {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(f)
+			for ln := 1; sc.Scan(); ln++ {
+				m := wantRe.FindStringSubmatch(sc.Text())
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", rel, ln, m[1], err)
+				}
+				wants = append(wants, expectation{file: filepath.ToSlash(rel), line: ln, re: re})
+			}
+			f.Close()
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return wants
+}
+
+// TestGoldenCorpus loads the repository plus the corpus overlays and
+// checks every pass against the annotated expectations. It doubles as
+// the repository-cleanliness gate: any finding outside the corpus is a
+// failure (the committed baseline is empty).
+func TestGoldenCorpus(t *testing.T) {
+	overlay := corpusOverlay(t)
+	prog, err := LoadWithOverlay(repoRoot, overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(prog)
+
+	wants := collectWants(t, overlay)
+	// The reasonless-directive case cannot carry a want comment (the
+	// comment would join the directive); assert it explicitly.
+	wants = append(wants, expectation{
+		file: "internal/vet/testdata/corpus/determinism/directives.go",
+		line: 30,
+		re:   regexp.MustCompile(`fsvet:ignore units needs a reason`),
+	})
+
+	inCorpus := func(f Finding) bool {
+		return strings.HasPrefix(f.File, "internal/vet/testdata/")
+	}
+
+	var repoFindings, corpusFindings, graphFindings []Finding
+	for _, f := range res.Findings {
+		switch {
+		case f.File == "(lock-order graph)":
+			graphFindings = append(graphFindings, f)
+		case inCorpus(f):
+			corpusFindings = append(corpusFindings, f)
+		default:
+			repoFindings = append(repoFindings, f)
+		}
+	}
+
+	for _, f := range repoFindings {
+		t.Errorf("repository is not fsvet-clean: %s", f)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, f := range corpusFindings {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Msg) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected corpus finding: %s", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing finding: %s:%d want match for %q", w.file, w.line, w.re)
+		}
+	}
+
+	// The corpus inversion (corpus.a <-> corpus.b) must surface as a
+	// whole-graph lockorder finding.
+	foundInversion := false
+	for _, f := range graphFindings {
+		if f.Pass == PassLockOrder && strings.Contains(f.Msg, "corpus.a") && strings.Contains(f.Msg, "corpus.b") {
+			foundInversion = true
+		} else {
+			t.Errorf("unexpected lock-order graph finding: %s", f)
+		}
+	}
+	if !foundInversion {
+		t.Errorf("corpus lock-order inversion (corpus.a <-> corpus.b) not reported")
+	}
+
+	// The static graph must include both corpus edge directions (the
+	// a->b edge flows through a transitive-acquire summary and a With
+	// closure) alongside the real kernel edges.
+	hasEdge := func(outer, inner string) bool {
+		for _, e := range res.LockGraph {
+			if e.Outer == outer && e.Inner == inner {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range [][2]string{
+		{"corpus.a", "corpus.b"},
+		{"corpus.b", "corpus.a"},
+		{"slock", "ehash.lock"},
+		{"slock", "base.lock"},
+		{"slock", "ep.lock"},
+	} {
+		if !hasEdge(e[0], e[1]) {
+			t.Errorf("static lock graph missing edge %s -> %s", e[0], e[1])
+		}
+	}
+}
+
+// TestRunIsDeterministic loads the repository twice from scratch and
+// requires byte-identical JSON: pass output must not depend on map
+// iteration order anywhere in the analyzer itself.
+func TestRunIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full type-check loads")
+	}
+	var out [2][]byte
+	for i := range out {
+		prog, err := Load(repoRoot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = Run(prog).JSON()
+	}
+	if !bytes.Equal(out[0], out[1]) {
+		t.Fatalf("two runs produced different JSON:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out[0], out[1])
+	}
+}
+
+// TestCrossCheck seeds deliberate mismatches in both directions and
+// checks the classification: observed-but-not-static edges are
+// analyzer bugs (fail), static-but-not-observed are untested
+// interactions (informational).
+func TestCrossCheck(t *testing.T) {
+	static := []StaticEdge{
+		{Outer: "slock", Inner: "ehash.lock"},
+		{Outer: "slock", Inner: "base.lock"},
+	}
+	observed := []lock.ObservedEdge{
+		{Outer: "slock", Inner: "ehash.lock", Sites: []string{"x"}},
+		{Outer: "ghost", Inner: "slock", Sites: []string{"y"}},
+	}
+	cc := CrossCheck(static, observed)
+	if cc.OK() {
+		t.Fatalf("expected failure: observed ghost edge is missing from static graph")
+	}
+	if len(cc.Missing) != 1 || cc.Missing[0].Outer != "ghost" {
+		t.Fatalf("Missing = %+v, want the ghost edge", cc.Missing)
+	}
+	if len(cc.Untested) != 1 || cc.Untested[0].Inner != "base.lock" {
+		t.Fatalf("Untested = %+v, want slock->base.lock", cc.Untested)
+	}
+
+	clean := CrossCheck(static, []lock.ObservedEdge{
+		{Outer: "slock", Inner: "ehash.lock"},
+		{Outer: "slock", Inner: "base.lock"},
+	})
+	if !clean.OK() || len(clean.Untested) != 0 {
+		t.Fatalf("expected clean cross-check, got %s", clean.Summary())
+	}
+}
+
+// TestBaselineRoundTrip exercises baseline parsing and matching,
+// including staleness detection and the column-insensitive key.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{File: "a.go", Line: 1, Col: 2, Pass: PassUnits, Msg: "m1"},
+		{File: "b.go", Line: 3, Col: 4, Pass: PassCharge, Msg: "m2"},
+	}
+	res := &Result{Findings: findings, LockGraph: []StaticEdge{}}
+	base, err := ParseBaseline(res.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column drift must not un-baseline a finding; a fixed finding must
+	// be reported stale.
+	current := []Finding{{File: "a.go", Line: 1, Col: 9, Pass: PassUnits, Msg: "m1"}}
+	fresh, stale := ApplyBaseline(current, base)
+	if len(fresh) != 0 {
+		t.Errorf("fresh = %v, want none", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "b.go" {
+		t.Errorf("stale = %v, want the fixed b.go entry", stale)
+	}
+	if _, err := ParseBaseline([]byte("not json")); err == nil {
+		t.Errorf("ParseBaseline accepted garbage")
+	}
+}
+
+// TestFindingString pins the human-readable rendering the CI log shows.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "internal/sim/sim.go", Line: 7, Col: 2, Pass: PassDeterminism, Msg: "boom"}
+	want := "internal/sim/sim.go:7:2: [determinism] boom"
+	if got := fmt.Sprint(f); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint vet test bench bench-go figures quick-figures faults examples clean
+.PHONY: all build lint vet allocgate test bench bench-go figures quick-figures faults examples clean
 
 all: build test
 
@@ -26,7 +26,17 @@ vet:
 		-lockdep-cross-check -write-observed LOCKGRAPH_observed.json \
 		-bench-out BENCH_vet.json
 
-test: lint vet
+# Allocation gate: the fsvet alloc pass checks every hot-path function
+# against the committed budget (.fsvet-allocbudget.json), then the
+# runtime cross-check measures actual allocs/event (macro run) and
+# allocs/op (bare engine) against the budget's ceilings. Regenerate the
+# budget after deliberate changes with:
+#   go run ./cmd/fsvet -write-allocbudget
+# (ceilings, notes and corpus fixture entries are preserved).
+allocgate:
+	go run ./cmd/fsvet -root . -alloc-cross-check -bench-out BENCH_allocgate.json
+
+test: lint vet allocgate
 	go test ./...
 
 # Full test run recorded to test_output.txt (what CI would archive).

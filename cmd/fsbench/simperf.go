@@ -21,6 +21,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -72,6 +73,16 @@ const (
 	simperfConc   = 300 // per core
 )
 
+// roundTo keeps the committed JSON reviewable: wall-side measurements
+// carry run-to-run noise well past any meaningful digit, so rates are
+// rounded to integers, nanosecond figures to one decimal, and
+// allocation ratios to four (engine allocs/op to six — its interesting
+// values are ~1e-5).
+func roundTo(v float64, digits int) float64 {
+	p := math.Pow(10, float64(digits))
+	return math.Round(v*p) / p
+}
+
 // simperfMacro runs one kernel profile's fixed workload and measures
 // the engine while it runs.
 func simperfMacro(spec experiment.KernelSpec) simperfMacroRun {
@@ -108,15 +119,15 @@ func simperfMacro(spec experiment.KernelSpec) simperfMacroRun {
 		Kernel:     spec.Label,
 		Cores:      simperfCores,
 		SimMillis:  int64((simperfWarmup + simperfWindow) / sim.Millisecond),
-		WallMillis: float64(wall.Nanoseconds()) / 1e6,
+		WallMillis: roundTo(float64(wall.Nanoseconds())/1e6, 1),
 		Events:     events,
 		SimConns:   cli.Completed,
-		Throughput: float64(cli.Completed) / (simperfWarmup + simperfWindow).Seconds(),
+		Throughput: roundTo(float64(cli.Completed)/(simperfWarmup+simperfWindow).Seconds(), 0),
 	}
 	if events > 0 {
-		r.EventsPerSec = float64(events) / wall.Seconds()
-		r.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
-		r.AllocsPerEvent = float64(allocs) / float64(events)
+		r.EventsPerSec = roundTo(float64(events)/wall.Seconds(), 0)
+		r.NsPerEvent = roundTo(float64(wall.Nanoseconds())/float64(events), 1)
+		r.AllocsPerEvent = roundTo(float64(allocs)/float64(events), 4)
 	}
 	return r
 }
@@ -161,9 +172,9 @@ func simperfEngine(name string, n int, cancel bool) simperfEngineRun {
 	runtime.ReadMemStats(&m1)
 
 	r := simperfEngineRun{Name: name, Ops: n}
-	r.NsPerOp = float64(wall.Nanoseconds()) / float64(n)
-	r.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(n)
-	r.EventsPerSec = float64(n) / wall.Seconds()
+	r.NsPerOp = roundTo(float64(wall.Nanoseconds())/float64(n), 1)
+	r.AllocsPerOp = roundTo(float64(m1.Mallocs-m0.Mallocs)/float64(n), 6)
+	r.EventsPerSec = roundTo(float64(n)/wall.Seconds(), 0)
 	return r
 }
 
@@ -204,16 +215,16 @@ func simperfSparsePoll(name string, n int) simperfEngineRun {
 	runtime.ReadMemStats(&m1)
 
 	r := simperfEngineRun{Name: name, Ops: n}
-	r.NsPerOp = float64(wall.Nanoseconds()) / float64(n)
-	r.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(n)
-	r.EventsPerSec = float64(n) / wall.Seconds()
+	r.NsPerOp = roundTo(float64(wall.Nanoseconds())/float64(n), 1)
+	r.AllocsPerOp = roundTo(float64(m1.Mallocs-m0.Mallocs)/float64(n), 6)
+	r.EventsPerSec = roundTo(float64(n)/wall.Seconds(), 0)
 	return r
 }
 
 // runSimperf executes both sections and writes BENCH_simperf.json.
 func runSimperf() string {
 	rep := simperfReport{
-		Note: fmt.Sprintf("fixed Figure-4a-style run: 3 stock kernels, %d cores, %v simulated, seed 1; engine churn 1e6 ops",
+		Note: fmt.Sprintf("fixed Figure-4a-style run: 3 stock kernels, %d cores, %v simulated, seed 1; engine churn 1e6 ops; regenerate with `make bench` (wall-side numbers are machine-dependent; sim_conns are not)",
 			simperfCores, simperfWarmup+simperfWindow),
 	}
 	var wallNs float64
@@ -225,9 +236,9 @@ func runSimperf() string {
 		rep.TotalAllocsPerEvent += m.AllocsPerEvent
 	}
 	if wallNs > 0 {
-		rep.TotalEventsPerSec = float64(rep.TotalEvents) / (wallNs / 1e9)
+		rep.TotalEventsPerSec = roundTo(float64(rep.TotalEvents)/(wallNs/1e9), 0)
 	}
-	rep.TotalAllocsPerEvent /= float64(len(rep.Macro))
+	rep.TotalAllocsPerEvent = roundTo(rep.TotalAllocsPerEvent/float64(len(rep.Macro)), 4)
 
 	const ops = 1_000_000
 	rep.Engine = append(rep.Engine,

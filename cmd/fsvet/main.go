@@ -1,13 +1,17 @@
 // Command fsvet runs the types-aware analysis suite over the module:
-// whole-program type-check, six interprocedural passes, and the
-// static↔runtime lockdep cross-check.
+// whole-program type-check, eight interprocedural passes, and the
+// static↔runtime cross-checks (lockdep order graph, allocation
+// ceilings).
 //
 //	fsvet [-root dir] [-json] [-baseline file] [-lockgraph]
-//	      [-lockdep-cross-check] [-write-observed file] [-bench-out file]
+//	      [-lockdep-cross-check] [-write-observed file]
+//	      [-alloc-cross-check] [-write-allocbudget] [-bench-out file]
 //
-// Exit status is 1 if any unbaselined finding remains or the
+// Exit status is 1 if any unbaselined finding remains, the lockdep
 // cross-check sees an observed lock-order edge the static graph
-// missed (an analyzer bug), 0 otherwise.
+// missed (an analyzer bug), or the alloc cross-check measures more
+// runtime allocations than the committed budget's ceilings allow;
+// 0 otherwise.
 package main
 
 import (
@@ -15,10 +19,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
 	"time"
 
+	"fastsocket/internal/app"
 	"fastsocket/internal/experiment"
+	"fastsocket/internal/kernel"
 	"fastsocket/internal/lock"
+	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
 	"fastsocket/internal/vet"
 )
@@ -32,7 +42,11 @@ func main() {
 		crosscheck = flag.Bool("lockdep-cross-check", false,
 			"run the committed experiment suite under runtime lockdep and diff observed vs static lock-order edges")
 		writeObserved = flag.String("write-observed", "", "write the observed lockdep graph JSON to this file (implies -lockdep-cross-check)")
-		benchOut      = flag.String("bench-out", "", "write analysis timing JSON to this file")
+		allocCheck    = flag.Bool("alloc-cross-check", false,
+			"measure runtime allocations (macro web-bench run and bare-loop op) and fail if either exceeds the budget's runtime ceilings")
+		writeBudget = flag.Bool("write-allocbudget", false,
+			"regenerate "+vet.AllocBudgetFile+" from the current hot-path scan (preserving ceilings and notes) and exit")
+		benchOut = flag.String("bench-out", "", "write analysis timing JSON to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +56,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
 		os.Exit(2)
 	}
+
+	if *writeBudget {
+		prev, err := vet.LoadAllocBudget(*root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			os.Exit(2)
+		}
+		b := vet.GenerateAllocBudget(prog, prev)
+		path := filepath.Join(*root, vet.AllocBudgetFile)
+		if err := os.WriteFile(path, b.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "fsvet: wrote %s (%d budgeted functions)\n", path, len(b.Functions))
+		return
+	}
+
 	res := vet.Run(prog)
 	analysis := time.Since(start)
 
@@ -113,6 +144,33 @@ func main() {
 		}
 	}
 
+	var macroAllocs, engineAllocs float64
+	if *allocCheck {
+		budget, err := vet.LoadAllocBudget(*root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			os.Exit(2)
+		}
+		macroAllocs = measureMacroAllocs()
+		engineAllocs = measureEngineAllocs()
+		fmt.Fprintf(os.Stderr,
+			"fsvet: alloc cross-check: macro %.4f allocs/event (ceiling %.2f), engine %.4f allocs/op (ceiling %.2f)\n",
+			macroAllocs, budget.RuntimeCeilingAllocsPerEvent,
+			engineAllocs, budget.RuntimeCeilingEngineAllocsPerOp)
+		if macroAllocs > budget.RuntimeCeilingAllocsPerEvent {
+			fmt.Fprintf(os.Stderr,
+				"fsvet: RUNTIME ALLOC REGRESSION: macro run allocated %.4f/event, budget ceiling is %.2f — the static scan missed a site or the budget is stale\n",
+				macroAllocs, budget.RuntimeCeilingAllocsPerEvent)
+			fail = true
+		}
+		if engineAllocs > budget.RuntimeCeilingEngineAllocsPerOp {
+			fmt.Fprintf(os.Stderr,
+				"fsvet: RUNTIME ALLOC REGRESSION: bare-loop op allocated %.4f/op, budget ceiling is %.2f\n",
+				engineAllocs, budget.RuntimeCeilingEngineAllocsPerOp)
+			fail = true
+		}
+	}
+
 	if *benchOut != "" {
 		files := 0
 		for _, ip := range prog.Paths {
@@ -126,6 +184,10 @@ func main() {
 			"crosscheck_seconds": ccSeconds,
 			"findings":           len(findings),
 			"static_lock_edges":  len(res.LockGraph),
+		}
+		if *allocCheck {
+			bench["macro_allocs_per_event"] = macroAllocs
+			bench["engine_allocs_per_op"] = engineAllocs
 		}
 		b, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
@@ -169,4 +231,71 @@ func runInstrumentedSuite() ([]lock.ObservedEdge, []byte) {
 		os.Exit(2)
 	}
 	return lock.Lockdep().Edges(), lock.Lockdep().GraphJSON()
+}
+
+// measureMacroAllocs replays the three stock kernels' web bench (the
+// same shape as fsbench simperf's macro section, at a smaller window)
+// and returns heap allocations per loop event, measured with
+// runtime.MemStats around the run. This is the runtime ground truth
+// the static alloc pass is checked against: if the static scan says
+// the hot path is pool-backed but this number is above the committed
+// ceiling, either the scan missed a site or the budget is stale.
+func measureMacroAllocs() float64 {
+	const (
+		cores  = 4
+		warmup = 10 * sim.Millisecond
+		window = 30 * sim.Millisecond
+		conc   = 100 // per core
+	)
+	var totalAllocs, totalEvents uint64
+	for _, spec := range experiment.StockKernels() {
+		loop := sim.NewLoop()
+		netw := app.NewNetwork(loop, 20*sim.Microsecond)
+		k := kernel.New(loop, kernel.Config{
+			Name:  spec.Label,
+			Cores: cores,
+			Mode:  spec.Mode,
+			Feat:  spec.Feat,
+			Seed:  1,
+		})
+		netw.AttachKernel(k)
+		srv := app.NewWebServer(k, app.WebServerConfig{})
+		srv.Start()
+		cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+			Targets:     []netproto.Addr{{IP: k.IPs()[0], Port: 80}},
+			Concurrency: conc * cores,
+			Seed:        100,
+		})
+		cli.Start()
+
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		loop.RunUntil(warmup + window)
+		runtime.ReadMemStats(&m1)
+		totalAllocs += m1.Mallocs - m0.Mallocs
+		totalEvents += loop.Fired()
+	}
+	if totalEvents == 0 {
+		return 0
+	}
+	return float64(totalAllocs) / float64(totalEvents)
+}
+
+// measureEngineAllocs returns testing.AllocsPerRun over one
+// steady-state schedule/fire pair on the bare event loop — the
+// engine-substrate half of the cross-check (the loop's event structs
+// are pooled, so the steady state must not allocate).
+func measureEngineAllocs() float64 {
+	loop := sim.NewLoop()
+	fn := func() {}
+	op := func() {
+		loop.After(sim.Microsecond, fn)
+		loop.RunUntil(loop.Now() + 2*sim.Microsecond)
+	}
+	// Reach steady-state pool occupancy before measuring.
+	for i := 0; i < 1024; i++ {
+		op()
+	}
+	return testing.AllocsPerRun(2000, op)
 }

@@ -124,11 +124,11 @@ func TestBackendReanswersDuplicateSYN(t *testing.T) {
 	sink := &sinkEndpoint{}
 	cli := netproto.Addr{IP: netproto.IPv4(10, 2, 0, 1), Port: 40001}
 	n.Attach(sink, cli.IP)
-	syn := &netproto.Packet{Src: cli, Dst: addr, Flags: netproto.SYN, Seq: 5}
-	n.Send(syn)
+	n.Send(&netproto.Packet{Src: cli, Dst: addr, Flags: netproto.SYN, Seq: 5})
 	loop.Run()
-	dup := *syn
-	n.Send(&dup)
+	// A retransmitted SYN is a fresh segment with identical fields (the
+	// first one was consumed — and possibly recycled — by the backend).
+	n.Send(&netproto.Packet{Src: cli, Dst: addr, Flags: netproto.SYN, Seq: 5})
 	loop.Run()
 	if len(sink.got) != 2 {
 		t.Fatalf("%d replies to duplicate SYN", len(sink.got))

@@ -19,8 +19,10 @@ type Backend struct {
 	addr         netproto.Addr
 	responseLen  int
 	serviceDelay sim.Time
+	respBytes    []byte // constant page, rendered once
 
 	conns map[netproto.FourTuple]*backConn
+	pool  netproto.PacketPool
 
 	// Results.
 	Requests uint64
@@ -64,6 +66,7 @@ func NewBackend(loop *sim.Loop, net *Network, cfg BackendConfig) *Backend {
 		serviceDelay: cfg.ServiceDelay,
 		conns:        map[netproto.FourTuple]*backConn{},
 	}
+	b.respBytes = netproto.BuildResponse(b.responseLen)
 	net.Attach(b, cfg.Addr.IP)
 	return b
 }
@@ -72,16 +75,33 @@ func NewBackend(loop *sim.Loop, net *Network, cfg BackendConfig) *Backend {
 func (b *Backend) Live() int { return len(b.conns) }
 
 func (b *Backend) send(c *backConn, flags netproto.Flags, payload []byte) {
-	b.net.Send(&netproto.Packet{
-		Src: c.local, Dst: c.remote,
-		Flags: flags | netproto.ACK,
-		Seq:   c.sndNxt, Ack: c.rcvNxt,
-		Payload: payload,
-	})
+	p := b.pool.Get()
+	p.Src, p.Dst = c.local, c.remote
+	p.Flags = flags | netproto.ACK
+	p.Seq, p.Ack = c.sndNxt, c.rcvNxt
+	p.Payload = payload
+	b.net.Send(p)
 }
 
-// Deliver implements Endpoint.
+// respond emits the constant page followed by the origin's FIN.
+func (b *Backend) respond(c *backConn) {
+	resp := b.respBytes
+	b.send(c, netproto.PSH, resp)
+	c.sndNxt += uint32(len(resp))
+	// Connection: close — FIN right after the response.
+	b.send(c, netproto.FIN, nil)
+	c.sndNxt++
+	c.finSent = true
+}
+
+// Deliver implements Endpoint; the origin is the terminal consumer of
+// every packet the proxy sends it.
 func (b *Backend) Deliver(p *netproto.Packet) {
+	b.deliver(p)
+	b.pool.Put(p)
+}
+
+func (b *Backend) deliver(p *netproto.Packet) {
 	if p.Corrupt {
 		return // checksum failure: discard silently
 	}
@@ -101,11 +121,11 @@ func (b *Backend) Deliver(p *netproto.Packet) {
 			}
 			b.conns[ft] = c
 			// SYN-ACK consumes one sequence number.
-			b.net.Send(&netproto.Packet{
-				Src: c.local, Dst: c.remote,
-				Flags: netproto.SYN | netproto.ACK,
-				Seq:   isn, Ack: c.rcvNxt,
-			})
+			sa := b.pool.Get()
+			sa.Src, sa.Dst = c.local, c.remote
+			sa.Flags = netproto.SYN | netproto.ACK
+			sa.Seq, sa.Ack = isn, c.rcvNxt
+			b.net.Send(sa)
 			c.sndNxt = isn + 1
 		}
 		return
@@ -116,11 +136,11 @@ func (b *Backend) Deliver(p *netproto.Packet) {
 	}
 	if p.Flags.Has(netproto.SYN) {
 		// Retransmitted SYN: re-answer.
-		b.net.Send(&netproto.Packet{
-			Src: c.local, Dst: c.remote,
-			Flags: netproto.SYN | netproto.ACK,
-			Seq:   c.sndNxt - 1, Ack: c.rcvNxt,
-		})
+		sa := b.pool.Get()
+		sa.Src, sa.Dst = c.local, c.remote
+		sa.Flags = netproto.SYN | netproto.ACK
+		sa.Seq, sa.Ack = c.sndNxt-1, c.rcvNxt
+		b.net.Send(sa)
 		return
 	}
 	c.established = true
@@ -132,19 +152,11 @@ func (b *Backend) Deliver(p *netproto.Packet) {
 		if !c.respSent && bytes.HasSuffix(c.req, []byte("\r\n\r\n")) {
 			c.respSent = true
 			b.Requests++
-			respond := func() {
-				resp := netproto.BuildResponse(b.responseLen)
-				b.send(c, netproto.PSH, resp)
-				c.sndNxt += uint32(len(resp))
-				// Connection: close — FIN right after the response.
-				b.send(c, netproto.FIN, nil)
-				c.sndNxt++
-				c.finSent = true
-			}
 			if b.serviceDelay > 0 {
-				b.loop.After(b.serviceDelay, respond)
+				cc := c
+				b.loop.After(b.serviceDelay, func() { b.respond(cc) })
 			} else {
-				respond()
+				b.respond(c)
 			}
 		}
 	}

@@ -36,6 +36,15 @@ type HTTPLoad struct {
 	portCursor []netproto.Port
 	launched   uint64
 
+	// reqBytes is the request rendered once at construction — every
+	// connection sends the same bytes, as http_load does with one URL.
+	reqBytes []byte
+	// pool/freeConns recycle packets and connection state; the client
+	// is an infinite-capacity endpoint, but its allocations still cost
+	// real memory churn in long sweeps.
+	pool      netproto.PacketPool
+	freeConns []*cliConn
+
 	// Results.
 	Completed uint64
 	Errors    uint64 // RSTs and SYN-retry exhaustion
@@ -76,6 +85,10 @@ type cliConn struct {
 	rtxTimer sim.Event
 	retries  int
 	reqSeq   uint32 // first sequence number of the in-flight request
+
+	// synFn/rtxFn are the persistent timer callbacks (built once per
+	// cliConn, surviving recycling — no per-arm closure).
+	synFn, rtxFn func()
 }
 
 // HTTPLoadConfig configures the generator.
@@ -154,8 +167,25 @@ func NewHTTPLoad(loop *sim.Loop, net *Network, cfg HTTPLoadConfig) *HTTPLoad {
 	for i := range h.portCursor {
 		h.portCursor[i] = netproto.EphemeralLow
 	}
+	h.reqBytes = netproto.BuildRequest("/hot/interface", h.reqLen)
 	net.Attach(h, cfg.ClientIPs...)
 	return h
+}
+
+// getConn pops a recycled connection or builds one with its persistent
+// timer callbacks.
+func (h *HTTPLoad) getConn() *cliConn {
+	if n := len(h.freeConns); n > 0 {
+		c := h.freeConns[n-1]
+		h.freeConns[n-1] = nil
+		h.freeConns = h.freeConns[:n-1]
+		*c = cliConn{synFn: c.synFn, rtxFn: c.rtxFn}
+		return c
+	}
+	c := &cliConn{}
+	c.synFn = func() { h.synFire(c) }
+	c.rtxFn = func() { h.retryFire(c) }
+	return c
 }
 
 // Start launches the closed-loop load.
@@ -220,15 +250,14 @@ func (h *HTTPLoad) open() {
 		}
 	}
 	isn := h.rng.Uint32()
-	c := &cliConn{
-		local:    local,
-		remote:   target,
-		state:    cliSynSent,
-		isn:      isn,
-		sndNxt:   isn + 1,
-		start:    h.loop.Now(),
-		reqStart: h.loop.Now(),
-	}
+	c := h.getConn()
+	c.local = local
+	c.remote = target
+	c.state = cliSynSent
+	c.isn = isn
+	c.sndNxt = isn + 1
+	c.start = h.loop.Now()
+	c.reqStart = h.loop.Now()
 	h.conns[netproto.FourTuple{Src: target, Dst: local}] = c
 	h.launched++
 	h.sendSYN(c)
@@ -236,25 +265,28 @@ func (h *HTTPLoad) open() {
 }
 
 func (h *HTTPLoad) sendSYN(c *cliConn) {
-	h.net.Send(&netproto.Packet{
-		Src: c.local, Dst: c.remote,
-		Flags: netproto.SYN, Seq: c.isn,
-	})
+	p := h.pool.Get()
+	p.Src, p.Dst = c.local, c.remote
+	p.Flags = netproto.SYN
+	p.Seq = c.isn
+	h.net.Send(p)
 }
 
 func (h *HTTPLoad) armSYNRetry(c *cliConn) {
-	c.synTimer = h.loop.After(h.rto, func() {
-		if c.state != cliSynSent {
-			return
-		}
-		c.synRetries++
-		if c.synRetries > h.maxSYNRetry {
-			h.fail(c)
-			return
-		}
-		h.sendSYN(c)
-		h.armSYNRetry(c)
-	})
+	c.synTimer = h.loop.After(h.rto, c.synFn)
+}
+
+func (h *HTTPLoad) synFire(c *cliConn) {
+	if c.state != cliSynSent {
+		return
+	}
+	c.synRetries++
+	if c.synRetries > h.maxSYNRetry {
+		h.fail(c)
+		return
+	}
+	h.sendSYN(c)
+	h.armSYNRetry(c)
 }
 
 func (h *HTTPLoad) key(c *cliConn) netproto.FourTuple {
@@ -270,31 +302,32 @@ func (h *HTTPLoad) finish(c *cliConn) {
 	c.synTimer.Cancel()
 	c.rtxTimer.Cancel()
 	delete(h.conns, h.key(c))
+	h.freeConns = append(h.freeConns, c)
 	if h.concurrency > 0 {
 		h.open() // closed loop: replace immediately
 	}
 }
 
 func (h *HTTPLoad) sendRequest(c *cliConn) {
-	req := netproto.BuildRequest("/hot/interface", h.reqLen)
+	req := h.reqBytes
 	c.reqSeq = c.sndNxt
-	h.net.Send(&netproto.Packet{
-		Src: c.local, Dst: c.remote,
-		Flags: netproto.PSH | netproto.ACK,
-		Seq:   c.sndNxt, Ack: c.rcvNxt,
-		Payload: req,
-	})
+	p := h.pool.Get()
+	p.Src, p.Dst = c.local, c.remote
+	p.Flags = netproto.PSH | netproto.ACK
+	p.Seq, p.Ack = c.sndNxt, c.rcvNxt
+	p.Payload = req
+	h.net.Send(p)
 	c.sndNxt += uint32(len(req))
 	c.reqStart = h.loop.Now()
 	h.armRetry(c)
 }
 
 func (h *HTTPLoad) sendFIN(c *cliConn) {
-	h.net.Send(&netproto.Packet{
-		Src: c.local, Dst: c.remote,
-		Flags: netproto.FIN | netproto.ACK,
-		Seq:   c.sndNxt, Ack: c.rcvNxt,
-	})
+	p := h.pool.Get()
+	p.Src, p.Dst = c.local, c.remote
+	p.Flags = netproto.FIN | netproto.ACK
+	p.Seq, p.Ack = c.sndNxt, c.rcvNxt
+	h.net.Send(p)
 	c.sndNxt++
 	c.state = cliFinSent
 	h.armRetry(c)
@@ -308,7 +341,7 @@ func (h *HTTPLoad) armRetry(c *cliConn) {
 		return
 	}
 	c.rtxTimer.Cancel()
-	c.rtxTimer = h.loop.After(h.rto, func() { h.retryFire(c) })
+	c.rtxTimer = h.loop.After(h.rto, c.rtxFn)
 }
 
 func (h *HTTPLoad) retryFire(c *cliConn) {
@@ -326,34 +359,41 @@ func (h *HTTPLoad) retryFire(c *cliConn) {
 		// lost and resend it from its recorded sequence (the server
 		// re-ACKs duplicates). reqStart is left untouched — the
 		// latency histogram must include the recovery time.
-		req := netproto.BuildRequest("/hot/interface", h.reqLen)
-		h.net.Send(&netproto.Packet{
-			Src: c.local, Dst: c.remote,
-			Flags: netproto.PSH | netproto.ACK,
-			Seq:   c.reqSeq, Ack: c.rcvNxt,
-			Payload: req,
-		})
+		p := h.pool.Get()
+		p.Src, p.Dst = c.local, c.remote
+		p.Flags = netproto.PSH | netproto.ACK
+		p.Seq, p.Ack = c.reqSeq, c.rcvNxt
+		p.Payload = h.reqBytes
+		h.net.Send(p)
 	case cliFinSent:
 		if !c.finAcked {
-			h.net.Send(&netproto.Packet{
-				Src: c.local, Dst: c.remote,
-				Flags: netproto.FIN | netproto.ACK,
-				Seq:   c.sndNxt - 1, Ack: c.rcvNxt,
-			})
+			p := h.pool.Get()
+			p.Src, p.Dst = c.local, c.remote
+			p.Flags = netproto.FIN | netproto.ACK
+			p.Seq, p.Ack = c.sndNxt-1, c.rcvNxt
+			h.net.Send(p)
 		}
 	}
 	h.armRetry(c)
 }
 
 func (h *HTTPLoad) ack(c *cliConn) {
-	h.net.Send(&netproto.Packet{
-		Src: c.local, Dst: c.remote,
-		Flags: netproto.ACK, Seq: c.sndNxt, Ack: c.rcvNxt,
-	})
+	p := h.pool.Get()
+	p.Src, p.Dst = c.local, c.remote
+	p.Flags = netproto.ACK
+	p.Seq, p.Ack = c.sndNxt, c.rcvNxt
+	h.net.Send(p)
 }
 
-// Deliver implements Endpoint: the client-side TCP behaviour.
+// Deliver implements Endpoint: the client-side TCP behaviour. The
+// packet is recycled once the handler is done with it — the client is
+// the terminal consumer of everything the server sends.
 func (h *HTTPLoad) Deliver(p *netproto.Packet) {
+	h.deliver(p)
+	h.pool.Put(p)
+}
+
+func (h *HTTPLoad) deliver(p *netproto.Packet) {
 	if p.Corrupt {
 		return // checksum failure: discard silently
 	}

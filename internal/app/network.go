@@ -37,17 +37,29 @@ type Network struct {
 	rng       *sim.Rand
 	faults    *fault.Engine
 	stats     NetworkStats
+	// deliverFn is the arrival callback shared by every in-flight
+	// packet (scheduled via AfterArg, so transmission allocates no
+	// per-packet closure). The destination is resolved again at arrival
+	// time; the endpoint map is fixed once the run starts.
+	deliverFn func(any)
 }
 
 // NewNetwork builds a fabric with the given one-way delay (the
 // paper's testbed is a 10GE LAN; ~25us one-way is typical).
 func NewNetwork(loop *sim.Loop, delay sim.Time) *Network {
-	return &Network{
+	n := &Network{
 		loop:      loop,
 		delay:     delay,
 		endpoints: map[netproto.IP]Endpoint{},
 		rng:       sim.NewRand(0xFAB41C),
 	}
+	n.deliverFn = func(v any) {
+		p := v.(*netproto.Packet)
+		if ep, ok := n.endpoints[p.Dst.IP]; ok {
+			ep.Deliver(p)
+		}
+	}
+	return n
 }
 
 // Stats returns a snapshot of the fabric counters.
@@ -90,7 +102,10 @@ func (n *Network) Send(p *netproto.Packet) {
 			n.stats.LostRandom++
 			return
 		case fault.Dup:
-			n.deliver(p, delay)
+			// Deliver a distinct copy: with packet pooling the two
+			// arrivals are freed independently, so they must not alias.
+			d := *p
+			n.deliver(&d, delay)
 		case fault.Reorder:
 			delay += extra
 		case fault.Corrupt:
@@ -101,11 +116,10 @@ func (n *Network) Send(p *netproto.Packet) {
 }
 
 func (n *Network) deliver(p *netproto.Packet, delay sim.Time) {
-	ep, ok := n.endpoints[p.Dst.IP]
-	if !ok {
+	if _, ok := n.endpoints[p.Dst.IP]; !ok {
 		n.stats.Unroutable++
 		return
 	}
 	n.stats.Delivered++
-	n.loop.After(delay, func() { ep.Deliver(p) })
+	n.loop.AfterArg(delay, n.deliverFn, p)
 }

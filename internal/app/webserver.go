@@ -222,7 +222,7 @@ func (w *srvWorker) handleConn(t *cpu.Task, fd int, ev epoll.Events) {
 	c.req = append(c.req, data...)
 	if bytes.HasSuffix(c.req, []byte("\r\n\r\n")) {
 		t.Charge(w.s.Costs.ParseRequest)
-		if _, _, err := netproto.ParseRequest(c.req); err != nil {
+		if !netproto.ValidRequest(c.req) {
 			w.close(t, fd, c)
 			return
 		}
@@ -247,6 +247,9 @@ func (w *srvWorker) handleConn(t *cpu.Task, fd int, ev epoll.Events) {
 
 func (w *srvWorker) close(t *cpu.Task, fd int, c *srvConn) {
 	c.live = false
-	c.req = nil
+	// Keep the request buffer's capacity: fds are reused
+	// lowest-first, so the slot's next connection appends into the
+	// same backing array instead of growing a fresh one.
+	c.req = c.req[:0]
 	w.p.CloseFD(t, fd)
 }

@@ -45,6 +45,7 @@ type RFD struct {
 	bits []uint
 
 	// next source-port cursor per core for ChoosePort.
+	//fsvet:percore indexed by core: only core c draws from cursor[c] when opening its own active connections
 	cursor []netproto.Port
 
 	// Precise enables classification rule 3 (listen-table check) as

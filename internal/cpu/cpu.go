@@ -27,6 +27,10 @@ type Core struct {
 
 	busyUntil sim.Time
 	pumping   bool
+	// drainFn is c.drain bound once at machine construction: passing a
+	// method value to loop.At allocates a closure per call, and kick
+	// runs for every queued work item.
+	drainFn func()
 
 	softirq []Work // high priority (interrupt context)
 	procs   []Work // normal priority (process context)
@@ -87,7 +91,7 @@ func (c *Core) kick() {
 	if c.busyUntil > at {
 		at = c.busyUntil
 	}
-	c.loop.At(at, c.drain)
+	c.loop.At(at, c.drainFn)
 }
 
 func (c *Core) drain() {
@@ -114,7 +118,7 @@ func (c *Core) drain() {
 	c.spinTime += t.spin
 	c.busyUntil = t.now
 	if c.QueueLen() > 0 {
-		c.loop.At(c.busyUntil, c.drain)
+		c.loop.At(c.busyUntil, c.drainFn)
 	} else {
 		c.pumping = false
 	}
@@ -177,6 +181,12 @@ func (t *Task) Defer(fn func()) {
 	t.core.loop.At(t.now, fn)
 }
 
+// DeferArg is the allocation-free form of Defer: fn is a long-lived
+// callback and arg the per-event value (see sim.Loop.AtArg).
+func (t *Task) DeferArg(fn func(any), arg any) {
+	t.core.loop.AtArg(t.now, fn, arg)
+}
+
 // Machine is a set of cores sharing an event loop (one simulated box).
 type Machine struct {
 	loop  *sim.Loop
@@ -197,7 +207,9 @@ func NewMachine(loop *sim.Loop, n int) *Machine {
 	m := &Machine{loop: loop, scaleNum: 1, scaleDen: 1}
 	m.cores = make([]*Core, n)
 	for i := range m.cores {
-		m.cores[i] = &Core{id: i, loop: loop, machine: m}
+		c := &Core{id: i, loop: loop, machine: m}
+		c.drainFn = c.drain
+		m.cores[i] = c
 	}
 	return m
 }

@@ -44,7 +44,8 @@ type Watch struct {
 	Item   any // kernel-side socket binding
 	events Events
 	queued bool
-	dead   bool
+	//fsvet:shared written only by the owning process (epoll_ctl); Notify's unlocked read races benignly — dead watches are discarded lazily at Wait
+	dead bool
 }
 
 // Instance is one epoll file descriptor's worth of state.
@@ -52,6 +53,7 @@ type Instance struct {
 	Lock  *lock.SpinLock // "ep.lock"
 	ready []*Watch
 	costs Costs
+	//fsvet:shared lossy aggregate counters, bumped outside ep.lock on purpose (the hold window stays minimal)
 	stats Stats
 
 	// waker is invoked (at most once per sleep) when a notification

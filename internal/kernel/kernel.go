@@ -46,6 +46,10 @@ type Stats struct {
 
 // sockExt is the kernel-side extension of a tcp.Sock (stored in
 // Sock.User): fd binding, epoll watch, timers, port ownership.
+// Extensions are pooled together with their sockets (see putSock);
+// the timer handlers are built once per extension and survive reuse.
+//
+//fsvet:percore an extension belongs to its flow's home core (RFD locality); every touch runs on that core's softirq or its owner process
 type sockExt struct {
 	sk    *tcp.Sock
 	owner *Process
@@ -56,9 +60,23 @@ type sockExt struct {
 	rtx *ktimer.Timer
 	tw  *ktimer.Timer
 
+	// rtxFn/twFn are the persistent timer handlers (they capture the
+	// sockExt, not a per-arm closure).
+	rtxFn, twFn func(*cpu.Task)
+	// pendingRtx/pendingTw count timer fires whose softirq handler has
+	// not yet run but whose Timer reference was dropped (cancelled or
+	// re-armed after the fire). While nonzero the extension must not
+	// be recycled: the queued handler must run against this very
+	// socket so its charges and rng draws match the unpooled
+	// execution exactly. Same-core softirqs run FIFO, so handlers of a
+	// kind drain in the order the counters were raised.
+	pendingRtx, pendingTw int
+
 	active    bool // opened via connect()
 	portBound bool // owns an ephemeral port to free on destroy
 	appClosed bool
+	destroyed bool // unhashed via Destroy
+	freed     bool // parked in the free lists (double-free guard)
 
 	listen *listenExt // only for listen sockets
 }
@@ -90,6 +108,7 @@ type Kernel struct {
 
 	tables *core.Tables
 	rfd    *core.RFD
+	//fsvet:shared the software flow-steering table is RCU-protected in Linux (rps_sock_flow_table); the model's single-writer-per-flow updates race benignly
 	rfs    *rfsTable
 	vfsl   *vfs.Layer
 	wheels []*ktimer.Wheel
@@ -101,15 +120,22 @@ type Kernel struct {
 
 	// flowHome mirrors the established tables for instrumentation
 	// (figure 5b locality accounting) without charging lookups.
+	//
+	//fsvet:shared instrumentation mirror of the established tables, not kernel state; shards with them when the engine shards
 	flowHome map[netproto.FourTuple]*sockExt
 
 	// NAPI state: per-core softnet backlog of software-steered
 	// packets, and whether a poll item is already queued on the core
 	// (at most one — that is the interrupt mitigation).
-	backlog    []nic.Ring
+	//
+	//fsvet:percore indexed by core: core c's backlog is filled by RFD steering and drained only by core c's NAPI poll
+	backlog []nic.Ring
+	//fsvet:shared written cross-core when software steering raises the remote core's poll (the IPI of softnet); a benign flag race at worst double-schedules
 	napiActive []bool
 
-	usedPorts  map[netproto.Addr]bool
+	//fsvet:shared machine-wide ephemeral-port bitmap (inet_bind_hash); per-core port ranges are ROADMAP work, today one softirq runs at a time
+	usedPorts map[netproto.Addr]bool
+	//fsvet:shared rides with usedPorts: the global ephemeral-port allocation cursor
 	portCursor netproto.Port
 	isn        uint32
 
@@ -117,10 +143,34 @@ type Kernel struct {
 	// means no fault plane is configured).
 	faults *fault.Engine
 
+	// pool/socks/extFree recycle packet headers, TCBs and their
+	// kernel-side extensions (enable_skb_pool and the sock slabs).
+	// Per-kernel: the sweep runner executes whole simulations on
+	// separate goroutines, so pools are never shared across loops.
+	pool  *netproto.PacketPool
+	socks *tcp.SockPool
+	//fsvet:percore extension free list shards per-core with the engine (per-CPU slab caches); today one event loop serializes access
+	extFree []*sockExt
+
+	// napiFns are the per-queue NET_RX poll closures, built at boot so
+	// scheduling a poll never allocates.
+	napiFns []cpu.Work
+	// wireFn hands a transmitted packet to SendToWire (via DeferArg,
+	// so the TX path schedules without a per-packet closure).
+	wireFn func(any)
+	// hlFn/hlTask replace the per-packet listener-probe closure RFD
+	// steering would otherwise allocate; hlTask is only valid for the
+	// duration of one netrx call.
+	hlFn func(netproto.Addr) bool
+	//fsvet:shared netrx-local scratch: set on entry, read only by hlFn during that same netrx call, on one core
+	hlTask *cpu.Task
+
+	//fsvet:shared accumulated lockstat of destroyed sockets; folded in at Destroy, which runs under the socket's slock
 	slockAgg lock.Stats // accumulated stats of destroyed sockets
 
 	acceptWakeAll bool
 
+	//fsvet:shared machine-wide aggregate counters (netstat -s); become per-core splits summed at snapshot when the engine shards
 	stats Stats
 
 	// SendToWire carries an outbound packet to the network fabric.
@@ -203,6 +253,21 @@ func New(loop *sim.Loop, cfg Config) *Kernel {
 	}
 	k.backlog = make([]nic.Ring, cfg.Cores)
 	k.napiActive = make([]bool, cfg.Cores)
+	k.pool = &netproto.PacketPool{}
+	k.socks = &tcp.SockPool{}
+	// Clone the TCP params so the pools stay private to this kernel
+	// even when several configs share one *tcp.Params.
+	tcpp := *k.cfg.TCP
+	tcpp.Pool = k.pool
+	tcpp.Socks = k.socks
+	k.cfg.TCP = &tcpp
+	k.napiFns = make([]cpu.Work, cfg.Cores)
+	for i := range k.napiFns {
+		q := i
+		k.napiFns[q] = func(t *cpu.Task) { k.napiPoll(t, q) }
+	}
+	k.wireFn = func(v any) { k.SendToWire(v.(*netproto.Packet)) }
+	k.hlFn = func(a netproto.Addr) bool { return k.tables.HasListener(k.hlTask, a) }
 	return k
 }
 
@@ -235,6 +300,13 @@ func (k *Kernel) Stats() Stats { return k.stats }
 // Faults returns the fault-injection engine (nil when no plan is
 // configured; a nil engine is safe to call).
 func (k *Kernel) Faults() *fault.Engine { return k.faults }
+
+// PacketPool returns the machine's skb free list (tests and the
+// allocation cross-check read its counters).
+func (k *Kernel) PacketPool() *netproto.PacketPool { return k.pool }
+
+// TCBPool returns the machine's socket free list.
+func (k *Kernel) TCBPool() *tcp.SockPool { return k.socks }
 
 // SNMP assembles the netstat-style counter block from the kernel,
 // NIC, and listener state.
@@ -290,6 +362,8 @@ func (k *Kernel) isLocalIP(ip netproto.IP) bool {
 // interrupt only if no poll is already pending on the core. The poll
 // then drains up to Config.NAPIBudget segments per wakeup, so a burst
 // costs one loop event instead of one per packet.
+//
+//fsvet:hotpath wire ingress, runs once per delivered segment
 func (k *Kernel) Deliver(p *netproto.Packet) {
 	q := k.nic.SteerRX(p)
 	k.stats.PacketsIn++
@@ -320,7 +394,7 @@ func (k *Kernel) scheduleNAPI(q int) {
 		return
 	}
 	k.napiActive[q] = true
-	k.machine.Core(q).SubmitSoftIRQ(func(t *cpu.Task) { k.napiPoll(t, q) })
+	k.machine.Core(q).SubmitSoftIRQ(k.napiFns[q])
 }
 
 // napiPoll is one NET_RX SoftIRQ wakeup: drain the core's softnet
@@ -329,6 +403,8 @@ func (k *Kernel) scheduleNAPI(q int) {
 // poll re-queues itself — yielding the core to already-queued SoftIRQ
 // work (timer expiries) in between, as softirq processing does
 // between netdev_budget rounds.
+//
+//fsvet:hotpath NET_RX SoftIRQ poll, drains the ring every wakeup
 func (k *Kernel) napiPoll(t *cpu.Task, q int) {
 	k.stats.NAPIPolls++
 	for budget := k.cfg.NAPIBudget; budget > 0; budget-- {
@@ -343,7 +419,7 @@ func (k *Kernel) napiPoll(t *cpu.Task, q int) {
 		k.netrx(t, p, false)
 	}
 	if k.backlog[q].Len() > 0 || k.nic.RXBacklog(q) > 0 {
-		k.machine.Core(q).SubmitSoftIRQ(func(t2 *cpu.Task) { k.napiPoll(t2, q) })
+		k.machine.Core(q).SubmitSoftIRQ(k.napiFns[q])
 	} else {
 		k.napiActive[q] = false
 	}
@@ -375,6 +451,8 @@ func (k *Kernel) inputCost(p *netproto.Packet) sim.Time {
 }
 
 // netrx is NET_RX SoftIRQ: demux, (optional) RFD steering, TCP input.
+//
+//fsvet:hotpath per-segment softirq input, the paper's receive path
 func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 	c := k.cfg.Costs
 	if steered {
@@ -389,12 +467,13 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 		// Checksum failure: the full RX cost was paid before the
 		// verify, then the segment is discarded.
 		k.stats.CsumErrors++
+		k.pool.Put(p)
 		return
 	}
 
 	if k.rfd != nil && !steered {
-		hasListener := func(a netproto.Addr) bool { return k.tables.HasListener(t, a) }
-		if target, active := k.rfd.Steer(p, hasListener); active && target != t.CoreID() {
+		k.hlTask = t
+		if target, active := k.rfd.Steer(p, k.hlFn); active && target != t.CoreID() {
 			t.Charge(c.RFDSteer)
 			k.stats.SoftSteers++
 			k.backlog[target].Push(p)
@@ -422,6 +501,7 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 		t.Charge(k.inputCost(p))
 		tcp.Input(k, t, sk, p)
 		sk.Slock.Release(t)
+		k.pool.Put(p)
 		return
 	}
 
@@ -436,6 +516,7 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 				// fails and the SYN is silently dropped — the client's
 				// SYN retransmit will redraw.
 				k.stats.AllocFails++
+				k.pool.Put(p)
 				return
 			}
 			lsk.Slock.Acquire(t)
@@ -446,6 +527,7 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 			if child == nil && lsk.DroppedSegs > before {
 				k.stats.ListenDrops++
 			}
+			k.pool.Put(p)
 			return
 		}
 	}
@@ -463,10 +545,12 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 				// The reconstructed TCB cannot be allocated; drop the
 				// ACK (the client will retransmit data and redraw).
 				k.stats.AllocFails++
+				k.pool.Put(p)
 				return
 			}
 			if child := tcp.AcceptCookieACK(k, t, lsk, p, c.LockBounce); child != nil {
 				k.stats.CookieAccepts++
+				k.pool.Put(p)
 				return
 			}
 		}
@@ -476,14 +560,14 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 	if !p.Flags.Has(netproto.RST) {
 		t.Charge(c.SendRST)
 		k.stats.RSTSent++
-		rst := &netproto.Packet{
-			Src:   p.Dst,
-			Dst:   p.Src,
-			Flags: netproto.RST,
-			Seq:   p.Ack,
-		}
+		rst := k.pool.Get()
+		rst.Src = p.Dst
+		rst.Dst = p.Src
+		rst.Flags = netproto.RST
+		rst.Seq = p.Ack
 		k.rawTransmit(t, rst)
 	}
+	k.pool.Put(p)
 }
 
 func (k *Kernel) rawTransmit(t *cpu.Task, p *netproto.Packet) {
@@ -495,8 +579,7 @@ func (k *Kernel) rawTransmit(t *cpu.Task, p *netproto.Packet) {
 		k.tracer.Trace(1, p, t.CoreID())
 	}
 	if k.SendToWire != nil {
-		send := k.SendToWire
-		t.Defer(func() { send(p) })
+		t.DeferArg(k.wireFn, p)
 	}
 }
 
@@ -513,7 +596,7 @@ func (k *Kernel) Transmit(t *cpu.Task, sk *tcp.Sock, p *netproto.Packet) {
 func (k *Kernel) InsertEstablished(t *cpu.Task, sk *tcp.Sock) {
 	if sk.User == nil {
 		// Passive child created inside ListenInput.
-		sk.User = &sockExt{sk: sk, fd: -1}
+		k.getExt(sk)
 	}
 	k.tables.InsertEstablished(t, sk)
 	k.flowHome[sk.Tuple()] = ext(sk)
@@ -604,15 +687,96 @@ func (k *Kernel) Readable(t *cpu.Task, sk *tcp.Sock) {
 	e.owner.Ep.Notify(t, e.watch, epoll.In)
 }
 
+// getExt pairs a socket with a (possibly recycled) kernel extension.
+// The timer handlers survive recycling: they capture the extension,
+// which is stable across reuse, not the socket.
+func (k *Kernel) getExt(sk *tcp.Sock) *sockExt {
+	if n := len(k.extFree); n > 0 {
+		e := k.extFree[n-1]
+		k.extFree[n-1] = nil
+		k.extFree = k.extFree[:n-1]
+		*e = sockExt{sk: sk, fd: -1, rtxFn: e.rtxFn, twFn: e.twFn}
+		sk.User = e //fsvet:shared socket fresh off the free list: unhashed, no fd, exclusively owned by this call
+		return e
+	}
+	e := &sockExt{sk: sk, fd: -1}
+	e.rtxFn = func(ht *cpu.Task) { k.rtxFire(ht, e) }
+	e.twFn = func(ht *cpu.Task) { k.twFire(ht, e) }
+	sk.User = e //fsvet:shared socket fresh off the free list: unhashed, no fd, exclusively owned by this call
+	return e
+}
+
+// putSock recycles a socket and its extension once nothing can reach
+// them: the TCB is unhashed (Destroy), the application dropped its fd
+// (or never had one it still holds), and no fired-but-unhandled timer
+// softirq is queued. Both Destroy and CloseFD call this; whichever
+// happens second frees. Listen sockets are never pooled.
+func (k *Kernel) putSock(e *sockExt) {
+	if e.freed || !e.destroyed || !e.appClosed || e.pendingRtx > 0 || e.pendingTw > 0 {
+		return
+	}
+	if e.listen != nil {
+		return
+	}
+	e.freed = true
+	sk := e.sk
+	e.sk, e.owner, e.file, e.watch = nil, nil, nil, nil
+	sk.User = nil
+	k.socks.Put(sk)
+	k.extFree = append(k.extFree, e)
+}
+
+// rtxFire is the persistent RTO handler: identical charges, touches and
+// rng draws to the per-arm closure it replaced.
+//
+//fsvet:hotpath RTO timer fire, runs from the timer softirq
+func (k *Kernel) rtxFire(ht *cpu.Task, e *sockExt) {
+	if e.pendingRtx > 0 {
+		e.pendingRtx--
+	}
+	sk := e.sk
+	sk.Slock.Acquire(ht)
+	k.touch(ht, sk)
+	before := sk.Retransmits
+	tcp.RetransmitTimeout(k, ht, sk)
+	// SNMP RetransSegs aggregates the per-socket counters, so the
+	// two accountings agree by construction.
+	k.stats.RetransSegs += sk.Retransmits - before
+	sk.Slock.Release(ht)
+	k.putSock(e)
+}
+
+// twFire is the persistent TIME_WAIT handler.
+//
+//fsvet:hotpath TIME_WAIT expiry, runs once per short-lived connection
+func (k *Kernel) twFire(ht *cpu.Task, e *sockExt) {
+	if e.pendingTw > 0 {
+		e.pendingTw--
+	}
+	sk := e.sk
+	sk.Slock.Acquire(ht)
+	tcp.TimeWaitExpire(k, ht, sk)
+	sk.Slock.Release(ht)
+	k.putSock(e)
+}
+
 // Destroy implements tcp.Env: unlink the socket and release kernel
 // resources (the fd, if open, stays; reads see EOF).
 func (k *Kernel) Destroy(t *cpu.Task, sk *tcp.Sock) {
 	e := ext(sk)
 	if e.rtx != nil {
+		// A fired-but-unhandled timer keeps the socket out of the pool
+		// until its queued softirq handler has run.
+		if e.rtx.Expiring() {
+			e.pendingRtx++
+		}
 		e.rtx.Cancel(t)
 		e.rtx = nil
 	}
 	if e.tw != nil {
+		if e.tw.Expiring() {
+			e.pendingTw++
+		}
 		e.tw.Cancel(t)
 		e.tw = nil
 	}
@@ -625,31 +789,30 @@ func (k *Kernel) Destroy(t *cpu.Task, sk *tcp.Sock) {
 		e.portBound = false
 	}
 	addLockStats(&k.slockAgg, sk.Slock.Stats())
+	e.destroyed = true
+	k.putSock(e)
 }
 
 // ArmRetransmit implements tcp.Env.
 func (k *Kernel) ArmRetransmit(t *cpu.Task, sk *tcp.Sock, d sim.Time) {
 	e := ext(sk)
 	if e.rtx != nil {
+		if e.rtx.Expiring() {
+			e.pendingRtx++
+		}
 		e.rtx.Cancel(t)
 	}
 	w := k.wheels[k.timerCore(sk)]
-	e.rtx = w.Arm(t, d, func(ht *cpu.Task) {
-		sk.Slock.Acquire(ht)
-		k.touch(ht, sk)
-		before := sk.Retransmits
-		tcp.RetransmitTimeout(k, ht, sk)
-		// SNMP RetransSegs aggregates the per-socket counters, so the
-		// two accountings agree by construction.
-		k.stats.RetransSegs += sk.Retransmits - before
-		sk.Slock.Release(ht)
-	})
+	e.rtx = w.Arm(t, d, e.rtxFn)
 }
 
 // CancelRetransmit implements tcp.Env.
 func (k *Kernel) CancelRetransmit(t *cpu.Task, sk *tcp.Sock) {
 	e := ext(sk)
 	if e.rtx != nil {
+		if e.rtx.Expiring() {
+			e.pendingRtx++
+		}
 		e.rtx.Cancel(t)
 		e.rtx = nil
 	}
@@ -659,11 +822,7 @@ func (k *Kernel) CancelRetransmit(t *cpu.Task, sk *tcp.Sock) {
 func (k *Kernel) StartTimeWait(t *cpu.Task, sk *tcp.Sock) {
 	e := ext(sk)
 	w := k.wheels[k.timerCore(sk)]
-	e.tw = w.Arm(t, k.cfg.TimeWait, func(ht *cpu.Task) {
-		sk.Slock.Acquire(ht)
-		tcp.TimeWaitExpire(k, ht, sk)
-		sk.Slock.Release(ht)
-	})
+	e.tw = w.Arm(t, k.cfg.TimeWait, e.twFn)
 }
 
 // timerCore picks the wheel a socket's timers live on: its home core

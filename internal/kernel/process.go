@@ -31,9 +31,12 @@ type Process struct {
 	// BatchMax caps events per epoll_wait (nginx uses 512).
 	BatchMax int
 
-	started   bool
+	//fsvet:percore set once on the process's first run, on its own core
+	started bool
+	//fsvet:shared the wakeup flag is written cross-core by epoll Notify (try_to_wake_up); the schedule guard makes the race idempotent
 	scheduled bool
 	dead      bool
+	//fsvet:percore read and written only by run, on the process's own core
 	wasAsleep bool
 }
 
@@ -101,6 +104,7 @@ func (p *Process) schedule() {
 	p.K.machine.Core(p.Core).Submit(p.run)
 }
 
+//fsvet:hotpath the process event loop: epoll_wait plus the app's event handlers
 func (p *Process) run(t *cpu.Task) {
 	p.scheduled = false
 	if p.dead {
@@ -137,6 +141,8 @@ func (p *Process) run(t *cpu.Task) {
 // Socket creates a TCP socket and returns its fd, or -1 when the
 // inode/dentry allocation fails under injected memory pressure
 // (-ENOMEM to the application).
+//
+//fsvet:hotpath socket() runs once per short-lived active connection
 func (p *Process) Socket(t *cpu.Task) int {
 	k := p.K
 	c := k.cfg.Costs
@@ -145,9 +151,9 @@ func (p *Process) Socket(t *cpu.Task) int {
 		k.stats.AllocFails++
 		return -1
 	}
-	sk := tcp.NewSock(k.cfg.TCP, c.LockBounce)
-	e := &sockExt{sk: sk, owner: p, fd: -1}
-	sk.User = e
+	sk := k.socks.Get(k.cfg.TCP, c.LockBounce)
+	e := k.getExt(sk)
+	e.owner = p
 	e.file = k.vfsl.AllocSocketFile(t, sk)
 	e.fd = p.FDs.Install(e.file)
 	return e.fd
@@ -203,9 +209,8 @@ func (k *Kernel) BootListener(addr netproto.Addr) *tcp.Sock {
 	sk := tcp.NewSock(k.cfg.TCP, k.cfg.Costs.LockBounce)
 	sk.Local = addr
 	sk.State = tcp.Listen
-	e := &sockExt{sk: sk, fd: -1}
+	e := k.getExt(sk)
 	e.listen = &listenExt{global: sk, clones: map[int]*tcp.Sock{}}
-	sk.User = e
 	e.file = k.vfsl.AllocBoot(sk)
 	k.tables.GlobalListen.Insert(nil, sk)
 	k.allListeners = append(k.allListeners, sk)
@@ -244,6 +249,8 @@ func (p *Process) LocalListen(t *cpu.Task, fd int) error {
 }
 
 // EpollAdd registers fd with the process's epoll instance.
+//
+//fsvet:hotpath epoll_ctl(ADD) runs once per accepted connection
 func (p *Process) EpollAdd(t *cpu.Task, fd int) {
 	f := p.FDs.Get(fd)
 	if f == nil {
@@ -269,6 +276,8 @@ func (p *Process) EpollAdd(t *cpu.Task, fd int) {
 // checked first with a lock-free read (Fastsocket's ordering, so the
 // slow path cannot starve), then the core's local listen clone. It
 // returns the new fd, or ok=false for EAGAIN.
+//
+//fsvet:hotpath accept() runs once per passive connection
 func (p *Process) Accept(t *cpu.Task, fd int) (int, bool) {
 	k := p.K
 	c := k.cfg.Costs
@@ -283,36 +292,47 @@ func (p *Process) Accept(t *cpu.Task, fd int) (int, bool) {
 		return -1, false
 	}
 
+	// Dequeue under the owning socket's lock, charging the shared or
+	// local pop cost (written out — no per-accept closure).
 	var child *tcp.Sock
-	pop := func(sk *tcp.Sock, shared bool) {
-		if len(sk.AcceptQueue) > 0 {
-			if shared {
-				t.Charge(c.AcceptPopShared)
-			} else {
-				t.Charge(c.AcceptPop)
-			}
-			child = sk.AcceptQueue[0]
-			sk.AcceptQueue = sk.AcceptQueue[1:]
-		} else {
-			t.Charge(c.AcceptEmpty)
-		}
-	}
-
 	clone := lex.clones[p.Core]
 	if clone != nil {
 		// Fast path: lock-free check of the global queue first.
 		t.Charge(c.AtomicCheck)
 		if len(lex.global.AcceptQueue) > 0 {
-			lex.global.Slock.With(t, func() { pop(lex.global, true) })
+			g := lex.global
+			g.Slock.Acquire(t)
+			if len(g.AcceptQueue) > 0 {
+				t.Charge(c.AcceptPopShared)
+				child = g.AcceptQueue[0]
+				g.AcceptQueue = g.AcceptQueue[1:]
+			} else {
+				t.Charge(c.AcceptEmpty)
+			}
+			g.Slock.Release(t)
 		}
 		if child == nil && len(clone.AcceptQueue) > 0 {
-			clone.Slock.With(t, func() { pop(clone, false) })
+			clone.Slock.Acquire(t)
+			if len(clone.AcceptQueue) > 0 {
+				t.Charge(c.AcceptPop)
+				child = clone.AcceptQueue[0]
+				clone.AcceptQueue = clone.AcceptQueue[1:]
+			} else {
+				t.Charge(c.AcceptEmpty)
+			}
+			clone.Slock.Release(t)
 		}
 	} else {
 		// Stock path: the (possibly shared) listen socket lock.
 		lsk.Slock.Acquire(t)
 		k.touch(t, lsk)
-		pop(lsk, true)
+		if len(lsk.AcceptQueue) > 0 {
+			t.Charge(c.AcceptPopShared)
+			child = lsk.AcceptQueue[0]
+			lsk.AcceptQueue = lsk.AcceptQueue[1:]
+		} else {
+			t.Charge(c.AcceptEmpty)
+		}
 		lsk.Slock.Release(t)
 	}
 
@@ -328,12 +348,12 @@ func (p *Process) Accept(t *cpu.Task, fd int) (int, bool) {
 		k.stats.AllocFails++
 		t.Charge(c.SendRST)
 		k.stats.RSTSent++
-		k.rawTransmit(t, &netproto.Packet{
-			Src:   child.Local,
-			Dst:   child.Remote,
-			Flags: netproto.RST,
-			Seq:   child.SndNxt,
-		})
+		rst := k.pool.Get()
+		rst.Src = child.Local
+		rst.Dst = child.Remote
+		rst.Flags = netproto.RST
+		rst.Seq = child.SndNxt
+		k.rawTransmit(t, rst)
 		child.Slock.Acquire(t)
 		tcp.Abort(k, t, child)
 		child.Slock.Release(t)
@@ -350,6 +370,8 @@ func (p *Process) Accept(t *cpu.Task, fd int) (int, bool) {
 
 // Connect opens an active connection to raddr. The socket's home core
 // is the caller's; with RFD the source port encodes it.
+//
+//fsvet:hotpath connect() runs once per active connection
 func (p *Process) Connect(t *cpu.Task, fd int, raddr netproto.Addr) error {
 	k := p.K
 	c := k.cfg.Costs
@@ -414,6 +436,8 @@ func (k *Kernel) allocPort(coreID int, ip netproto.IP) (netproto.Port, bool) {
 }
 
 // Recv reads up to max bytes (0 = all available).
+//
+//fsvet:hotpath read() runs per request on the steady-state path
 func (p *Process) Recv(t *cpu.Task, fd int, max int) (data []byte, eof bool, ok bool) {
 	k := p.K
 	c := k.cfg.Costs
@@ -432,6 +456,8 @@ func (p *Process) Recv(t *cpu.Task, fd int, max int) (data []byte, eof bool, ok 
 }
 
 // Send writes data to the connection, returning bytes queued.
+//
+//fsvet:hotpath write() runs per response on the steady-state path
 func (p *Process) Send(t *cpu.Task, fd int, data []byte) int {
 	k := p.K
 	c := k.cfg.Costs
@@ -449,6 +475,8 @@ func (p *Process) Send(t *cpu.Task, fd int, data []byte) int {
 
 // CloseFD closes the descriptor: epoll deregistration, VFS teardown,
 // and the TCP close handshake for connection sockets.
+//
+//fsvet:hotpath close() runs once per connection
 func (p *Process) CloseFD(t *cpu.Task, fd int) {
 	k := p.K
 	c := k.cfg.Costs
@@ -478,6 +506,9 @@ func (p *Process) CloseFD(t *cpu.Task, fd int) {
 	k.touch(t, sk)
 	tcp.Close(k, t, sk)
 	sk.Slock.Release(t)
+	// If the TCB was already destroyed (RST, or TIME_WAIT expired
+	// before the app got around to close()), this is the free point.
+	k.putSock(e)
 }
 
 func errBadFD(fd int) error { return fmt.Errorf("kernel: bad file descriptor %d", fd) }

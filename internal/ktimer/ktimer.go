@@ -41,12 +41,20 @@ type Stats struct {
 }
 
 // Wheel is one core's timer wheel.
+//
+//fsvet:percore one wheel per core (the per-core timer base); list mutation under base.lock, counters and free list owned by the wheel's core
 type Wheel struct {
 	core  *cpu.Core
 	loop  *sim.Loop
 	Lock  *lock.SpinLock // "base.lock"
 	costs Costs
 	stats Stats
+	// free is the wheel's Timer free list (the timer_list equivalent of
+	// the skb pool): a Timer carries its fire/expire callbacks built
+	// once, so the arm/cancel/expire churn of the retransmission path
+	// allocates nothing in steady state. Per-wheel (= per-core within
+	// one simulation), never shared across loops.
+	free []*Timer
 }
 
 // NewWheel builds the wheel for a core. bounce is the base.lock
@@ -66,11 +74,63 @@ func (w *Wheel) Stats() Stats { return w.stats }
 // Core returns the owning core.
 func (w *Wheel) Core() *cpu.Core { return w.core }
 
-// Timer is one armed timer.
+// Timer is one armed timer. Timers are pooled per wheel: a recycled
+// Timer keeps its two callbacks (built on first construction), and
+// only the handler field changes between arms. A *Timer pointer is
+// valid until the timer fires or is cancelled; holders that can
+// observe expiry must clear their pointer in the handler (the handler
+// runs after the Timer returns to the pool).
+//
+//fsvet:percore a timer belongs to its wheel's core; arm/cancel/expire are serialized on that core's softirq context
 type Timer struct {
-	wheel *Wheel
-	ev    sim.Event
-	fired bool
+	wheel    *Wheel
+	ev       sim.Event
+	fn       func(*cpu.Task)
+	fired    bool
+	parked   bool // on the wheel's free list (double-free guard)
+	fireFn   func()
+	expireFn cpu.Work
+}
+
+// get pops a recycled Timer or builds one with its persistent
+// callbacks.
+func (w *Wheel) get() *Timer {
+	if n := len(w.free); n > 0 {
+		tm := w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+		tm.parked = false
+		tm.fired = false
+		return tm
+	}
+	tm := &Timer{wheel: w}
+	tm.fireFn = func() {
+		tm.fired = true
+		tm.wheel.core.SubmitSoftIRQ(tm.expireFn)
+	}
+	tm.expireFn = func(ht *cpu.Task) {
+		// Expiry re-takes base.lock to dequeue.
+		wh := tm.wheel
+		wh.Lock.Acquire(ht)
+		ht.Charge(wh.costs.Expire)
+		wh.Lock.Release(ht)
+		wh.stats.Fired++
+		fn := tm.fn
+		wh.put(tm)
+		fn(ht)
+	}
+	return tm
+}
+
+// put parks a finished Timer for reuse.
+func (w *Wheel) put(tm *Timer) {
+	if tm.parked {
+		return
+	}
+	tm.parked = true
+	tm.fn = nil
+	tm.ev = sim.Event{}
+	w.free = append(w.free, tm)
 }
 
 // Arm schedules fn to run on the wheel's core after d. The calling
@@ -81,25 +141,16 @@ func (w *Wheel) Arm(t *cpu.Task, d sim.Time, fn func(*cpu.Task)) *Timer {
 	t.Charge(w.costs.Arm)
 	w.Lock.Release(t)
 	w.stats.Armed++
-	tm := &Timer{wheel: w}
-	tm.ev = w.loop.At(t.Now()+d, func() {
-		tm.fired = true
-		w.core.SubmitSoftIRQ(func(ht *cpu.Task) {
-			// Expiry re-takes base.lock to dequeue.
-			w.Lock.Acquire(ht)
-			ht.Charge(w.costs.Expire)
-			w.Lock.Release(ht)
-			w.stats.Fired++
-			fn(ht)
-		})
-	})
+	tm := w.get()
+	tm.fn = fn
+	tm.ev = w.loop.At(t.Now()+d, tm.fireFn)
 	return tm
 }
 
 // Cancel deactivates the timer; a no-op if it already fired or was
 // cancelled. The calling context pays the base.lock costs.
 func (tm *Timer) Cancel(t *cpu.Task) {
-	if tm == nil || tm.fired || !tm.ev.Live() {
+	if tm == nil || tm.fired || tm.parked || !tm.ev.Live() {
 		return
 	}
 	w := tm.wheel
@@ -108,9 +159,19 @@ func (tm *Timer) Cancel(t *cpu.Task) {
 	w.Lock.Release(t)
 	w.stats.Cancelled++
 	tm.ev.Cancel()
+	w.put(tm)
 }
 
 // Active reports whether the timer is still pending.
 func (tm *Timer) Active() bool {
-	return tm != nil && !tm.fired && tm.ev.Live()
+	return tm != nil && !tm.fired && !tm.parked && tm.ev.Live()
+}
+
+// Expiring reports whether the timer has fired but its handler has not
+// yet run (the expiry SoftIRQ is queued). A holder dropping its *Timer
+// reference while this is true must expect the handler to still run;
+// inside the handler itself this is always false (the Timer is parked
+// before the handler is called).
+func (tm *Timer) Expiring() bool {
+	return tm != nil && tm.fired && !tm.parked
 }

@@ -122,6 +122,19 @@ func (l *SpinLock) Stats() Stats { return l.stats }
 // ResetStats zeroes the lockstat counters.
 func (l *SpinLock) ResetStats() { l.stats = Stats{} }
 
+// Reset restores the lock to its freshly constructed state (empty
+// timeline, no recency, zero counters), keeping name and penalty.
+// Used when the struct the lock protects is recycled through a free
+// list: a reset lock is observationally identical to lock.New's.
+func (l *SpinLock) Reset() {
+	l.intervals = l.intervals[:0]
+	l.holds = l.holds[:0]
+	l.avgHold = 0
+	l.recent1.core, l.recent1.at = -1, 0
+	l.recent2.core, l.recent2.at = -1, 0
+	l.stats = Stats{}
+}
+
 // slotAt returns the earliest instant >= ta at which the lock is free
 // for an expected hold duration on the reserved timeline.
 func (l *SpinLock) slotAt(ta sim.Time) sim.Time {

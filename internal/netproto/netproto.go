@@ -109,6 +109,8 @@ func (f Flags) String() string {
 const HeaderBytes = 40
 
 // Packet is one TCP/IPv4 segment in flight.
+//
+//fsvet:percore a packet is owned by exactly one layer at a time (adoption semantics); every write happens under that ownership
 type Packet struct {
 	Src, Dst Addr
 	Flags    Flags
@@ -118,6 +120,58 @@ type Packet struct {
 	// TCP checksum fails at the receiver and the segment is discarded
 	// after the RX processing cost has been paid.
 	Corrupt bool
+	// pooled marks a packet currently parked in a PacketPool free list;
+	// it guards against double-free (a second Put is a no-op).
+	pooled bool
+}
+
+// PacketPool is a free list of Packet structs — the simulated
+// equivalent of Fastsocket's enable_skb_pool: the steady-state data
+// path recycles segment headers instead of allocating one per
+// transmission. A pool belongs to one simulation (the sweep runner
+// executes whole simulations on separate goroutines, so pools must
+// never be shared across loops); a nil *PacketPool degrades to plain
+// allocation. Pools adopt foreign packets: Put parks any packet not
+// already parked, whoever allocated it, so the client side recycling
+// the server's segments (and vice versa) keeps both lists balanced.
+//
+//fsvet:percore free lists shard per-core with the engine (per-CPU skb caches); today one event loop serializes access
+type PacketPool struct {
+	free []*Packet
+	// Gets/News/Puts count pool traffic (News = Gets that had to
+	// allocate), for tests and the allocation cross-check.
+	Gets, News, Puts uint64
+}
+
+// Get returns a zeroed packet, recycling a parked one when available.
+func (pp *PacketPool) Get() *Packet {
+	if pp == nil {
+		return &Packet{}
+	}
+	pp.Gets++
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		p.pooled = false
+		return p
+	}
+	pp.News++
+	return &Packet{}
+}
+
+// Put parks p for reuse after its final receiver is done with it. The
+// packet is cleared (dropping the payload reference — receivers copy
+// payload bytes out, they never retain the slice). Putting nil, into a
+// nil pool, or a packet already parked is a no-op, so hand-allocated
+// packets and double-frees are harmless.
+func (pp *PacketPool) Put(p *Packet) {
+	if pp == nil || p == nil || p.pooled {
+		return
+	}
+	pp.Puts++
+	*p = Packet{pooled: true}
+	pp.free = append(pp.free, p)
 }
 
 // Len returns the total wire length in bytes.
@@ -187,6 +241,58 @@ func ParseRequest(data []byte) (method, path string, err error) {
 		return "", "", fmt.Errorf("netproto: request not terminated")
 	}
 	return parts[0], parts[1], nil
+}
+
+// ValidRequest reports whether data holds a complete, well-formed
+// request (METHOD SP PATH SP HTTP/... line, terminated header block)
+// without allocating: it is the byte-level twin of ParseRequest for
+// the server's per-request hot path, where converting the buffer to a
+// string would put one heap allocation on every request served.
+func ValidRequest(data []byte) bool {
+	n := len(data)
+	if n < 4 || data[n-4] != '\r' || data[n-3] != '\n' || data[n-2] != '\r' || data[n-1] != '\n' {
+		return false
+	}
+	eol := -1
+	for i := 0; i+1 < n; i++ {
+		if data[i] == '\r' && data[i+1] == '\n' {
+			eol = i
+			break
+		}
+	}
+	if eol < 0 {
+		return false
+	}
+	sp1 := -1
+	for i := 0; i < eol; i++ {
+		if data[i] == ' ' {
+			sp1 = i
+			break
+		}
+	}
+	if sp1 <= 0 {
+		return false
+	}
+	sp2 := -1
+	for i := sp1 + 1; i < eol; i++ {
+		if data[i] == ' ' {
+			sp2 = i
+			break
+		}
+	}
+	if sp2 < 0 || sp2 == sp1+1 {
+		return false
+	}
+	const vers = "HTTP/"
+	if eol-(sp2+1) < len(vers) {
+		return false
+	}
+	for i := 0; i < len(vers); i++ {
+		if data[sp2+1+i] != vers[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // BuildResponse renders a 200 response whose total length is exactly

@@ -87,6 +87,8 @@ type Stats struct {
 // and the same structure serves as the kernel's per-core softnet
 // backlog (which stays unbounded). Pop compacts lazily, so
 // steady-state push/pop does not allocate.
+//
+//fsvet:percore one ring per RX queue: filled by the wire, drained by the owning core's NAPI poll (descriptor ownership in hardware)
 type Ring struct {
 	buf  []*netproto.Packet
 	head int
@@ -161,12 +163,14 @@ const DefaultATRSampleRate = 20
 
 // NIC is one dual-port-agnostic simulated adapter.
 type NIC struct {
-	cfg     Config
-	atr     []atrEntry
+	cfg Config
+	atr []atrEntry
+	//fsvet:percore indexed by queue; the ATR sampling decision is local to the TX queue
 	txCount []uint64 // per-queue TX counter driving the sample period
 	rings   []Ring   // per-queue RX rings drained by the kernel's NAPI poll
 	perfect PerfectFilter
-	stats   Stats
+	//fsvet:shared device-wide counters aggregated inside the adapter, not kernel state
+	stats Stats
 }
 
 // New validates the config and returns a NIC.

@@ -62,9 +62,14 @@ const (
 // chain and the wheel slot list; level/slot locate a wheel resident
 // for O(1) unlink.
 type node struct {
-	at    Time
-	seq   uint64
-	fn    func()
+	at  Time
+	seq uint64
+	fn  func()
+	// afn/arg are the arg-carrying form (Loop.AtArg): a long-lived
+	// callback plus the value it runs on. Storing a pointer in arg does
+	// not allocate, so per-packet scheduling needs no per-event closure.
+	afn   func(any)
+	arg   any
 	next  int32
 	prev  int32
 	gen   uint32
@@ -107,6 +112,8 @@ func (l *Loop) alloc() int32 {
 func (l *Loop) freeNode(idx int32, fate uint8) {
 	n := &l.nodes[idx]
 	n.fn = nil // release the closure
+	n.afn = nil
+	n.arg = nil
 	n.where = whereFree
 	n.fate = fate
 	n.next = l.free

@@ -189,13 +189,34 @@ func (l *Loop) SchedStats() SchedStats { return l.stats }
 // farther deadlines (armed timers, TIME_WAIT) go to the wheel tier,
 // where cancellation is O(1) and costs the heap nothing.
 func (l *Loop) At(t Time, fn func()) Event {
+	idx := l.schedule(t)
+	l.nodes[idx].fn = fn
+	return Event{l: l, idx: idx, gen: l.nodes[idx].gen, at: t}
+}
+
+// AtArg schedules fn(arg) at absolute simulated time t. It is the
+// allocation-free form of At for hot paths: fn is a long-lived
+// callback (built once, reused for every event) and arg carries the
+// per-event value. A pointer stored in arg is not boxed, so scheduling
+// a packet delivery or a softirq costs no heap allocation at all.
+// Firing order relative to At events is the usual (at, seq).
+func (l *Loop) AtArg(t Time, fn func(any), arg any) Event {
+	idx := l.schedule(t)
+	n := &l.nodes[idx]
+	n.afn, n.arg = fn, arg
+	return Event{l: l, idx: idx, gen: n.gen, at: t}
+}
+
+// schedule allocates and links a node for deadline t; the caller fills
+// in the callback.
+func (l *Loop) schedule(t Time) int32 {
 	if t < l.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
 	}
 	l.seq++
 	idx := l.alloc()
 	n := &l.nodes[idx]
-	n.at, n.seq, n.fn = t, l.seq, fn
+	n.at, n.seq = t, l.seq
 	l.live++
 	if l.wheelInsert(idx, t) {
 		l.stats.ScheduledWheel++
@@ -204,7 +225,7 @@ func (l *Loop) At(t Time, fn func()) Event {
 		l.heapPush(heapEnt{at: t, seq: n.seq, idx: idx, gen: n.gen})
 		l.stats.ScheduledHeap++
 	}
-	return Event{l: l, idx: idx, gen: n.gen, at: t}
+	return idx
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -213,6 +234,14 @@ func (l *Loop) After(d Time, fn func()) Event {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return l.At(l.now+d, fn)
+}
+
+// AfterArg schedules fn(arg) d nanoseconds from now (see AtArg).
+func (l *Loop) AfterArg(d Time, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return l.AtArg(l.now+d, fn, arg)
 }
 
 // Step executes the next event, advancing the clock. It returns false
@@ -226,10 +255,15 @@ func (l *Loop) Step() bool {
 	e := l.heap[0]
 	l.heapPop()
 	l.now = e.at
-	fn := l.nodes[e.idx].fn
+	n := &l.nodes[e.idx]
+	fn, afn, arg := n.fn, n.afn, n.arg
 	l.fired++
 	l.freeNode(e.idx, fateFired)
-	fn()
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

@@ -8,7 +8,10 @@ import (
 	"reflect"
 	"testing"
 
+	"fastsocket/internal/app"
 	"fastsocket/internal/experiment"
+	"fastsocket/internal/kernel"
+	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
 	"fastsocket/internal/sweep"
 )
@@ -120,6 +123,83 @@ func TestParallelLossSweepMatchesSerial(t *testing.T) {
 	}
 	if s, p := serial.Format(), parallel.Format(); s != p {
 		t.Errorf("rendered loss sweep differs:\n--- serial\n%s--- parallel\n%s", s, p)
+	}
+}
+
+// poolDigest is everything the pooled data path can influence: the
+// simulated outcome plus the skb- and TCB-pool traffic counters.
+type poolDigest struct {
+	Conns                        uint64
+	Events                       uint64
+	PktGets, PktNews, PktPuts    uint64
+	SockGets, SockNews, SockPuts uint64
+}
+
+// runPooledBench runs one stock kernel's web bench and digests the
+// outcome together with the pool counters.
+func runPooledBench(spec experiment.KernelSpec) poolDigest {
+	const cores = 4
+	loop := sim.NewLoop()
+	netw := app.NewNetwork(loop, 20*sim.Microsecond)
+	k := kernel.New(loop, kernel.Config{
+		Name:  spec.Label,
+		Cores: cores,
+		Mode:  spec.Mode,
+		Feat:  spec.Feat,
+		Seed:  1,
+	})
+	netw.AttachKernel(k)
+	srv := app.NewWebServer(k, app.WebServerConfig{})
+	srv.Start()
+	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+		Targets:     []netproto.Addr{{IP: k.IPs()[0], Port: 80}},
+		Concurrency: 50 * cores,
+		Seed:        100,
+	})
+	cli.Start()
+	loop.RunUntil(20 * sim.Millisecond)
+
+	pp, sp := k.PacketPool(), k.TCBPool()
+	return poolDigest{
+		Conns:   cli.Completed,
+		Events:  loop.Fired(),
+		PktGets: pp.Gets, PktNews: pp.News, PktPuts: pp.Puts,
+		SockGets: sp.Gets, SockNews: sp.News, SockPuts: sp.Puts,
+	}
+}
+
+// TestParallelPooledDigestMatchesSerial pins the segment/TCB pooling
+// behavior under the sweep runner: each stock kernel's web bench runs
+// serially and on a 4-worker pool, and the digests — connection and
+// event counts plus every pool counter — must be bit-identical. It
+// also requires the pools to be genuinely hot (recycling, not just
+// allocating), so the equality is evidence about the pooled
+// configuration and not a vacuous pass. Run under -race (CI does):
+// pools belong to one loop each and must never be shared across
+// workers.
+func TestParallelPooledDigestMatchesSerial(t *testing.T) {
+	specs := experiment.StockKernels()
+	serial := make([]poolDigest, len(specs))
+	for i, spec := range specs {
+		serial[i] = runPooledBench(spec)
+	}
+	parallel := sweep.Map(4, len(specs), func(i int) poolDigest {
+		return runPooledBench(specs[i])
+	})
+	for i, spec := range specs {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: pooled digest differs:\nserial:   %+v\nparallel: %+v",
+				spec.Label, serial[i], parallel[i])
+		}
+		d := serial[i]
+		if d.PktNews >= d.PktGets || d.PktPuts == 0 {
+			t.Errorf("%s: packet pool not recycling (gets=%d news=%d puts=%d)",
+				spec.Label, d.PktGets, d.PktNews, d.PktPuts)
+		}
+		if d.SockNews >= d.SockGets || d.SockPuts == 0 {
+			t.Errorf("%s: sock pool not recycling (gets=%d news=%d puts=%d)",
+				spec.Label, d.SockGets, d.SockNews, d.SockPuts)
+		}
 	}
 }
 

@@ -55,6 +55,7 @@ type EstablishedTable struct {
 	// construction); otherwise the per-bucket ehash locks.
 	locks *lock.Sharded
 	costs Costs
+	//fsvet:shared lossy counters on the lock-free lookup path (RCU reads in Linux); writes go under the bucket lock
 	stats EstablishedStats
 	count int
 }
@@ -89,16 +90,17 @@ func (e *EstablishedTable) bucket(ft netproto.FourTuple) (uint64, *[]*tcp.Sock) 
 func (e *EstablishedTable) Insert(t *cpu.Task, sk *tcp.Sock) {
 	t.Charge(e.costs.Hash)
 	h, b := e.bucket(sk.Tuple())
-	ins := func() {
-		t.Charge(e.costs.Link)
-		*b = append(*b, sk)
-		e.count++
-		e.stats.Inserts++
-	}
+	var l *lock.SpinLock
 	if e.locks != nil {
-		e.locks.Shard(h).With(t, ins)
-	} else {
-		ins()
+		l = e.locks.Shard(h)
+		l.Acquire(t)
+	}
+	t.Charge(e.costs.Link)
+	*b = append(*b, sk)
+	e.count++
+	e.stats.Inserts++
+	if l != nil {
+		l.Release(t)
 	}
 }
 
@@ -106,24 +108,25 @@ func (e *EstablishedTable) Insert(t *cpu.Task, sk *tcp.Sock) {
 func (e *EstablishedTable) Remove(t *cpu.Task, sk *tcp.Sock) bool {
 	t.Charge(e.costs.Hash)
 	h, b := e.bucket(sk.Tuple())
+	var l *lock.SpinLock
+	if e.locks != nil {
+		l = e.locks.Shard(h)
+		l.Acquire(t)
+	}
 	removed := false
-	rm := func() {
-		for i, s := range *b {
-			t.Charge(e.costs.Compare)
-			if s == sk {
-				t.Charge(e.costs.Link)
-				*b = append((*b)[:i], (*b)[i+1:]...)
-				e.count--
-				e.stats.Removes++
-				removed = true
-				return
-			}
+	for i, s := range *b {
+		t.Charge(e.costs.Compare)
+		if s == sk {
+			t.Charge(e.costs.Link)
+			*b = append((*b)[:i], (*b)[i+1:]...)
+			e.count--
+			e.stats.Removes++
+			removed = true
+			break
 		}
 	}
-	if e.locks != nil {
-		e.locks.Shard(h).With(t, rm)
-	} else {
-		rm()
+	if l != nil {
+		l.Release(t)
 	}
 	return removed
 }
@@ -175,8 +178,14 @@ type ListenTable struct {
 	// cache lines from the core that owns it — the dominant cost of
 	// the SO_REUSEPORT chain scan.
 	domain *cache.Domain
-	stats  ListenStats
-	count  int
+	//fsvet:shared lossy counters on the lock-free listener lookup (RCU chain scan in Linux)
+	stats ListenStats
+	count int
+	// scratch is the reuseport candidate buffer, reused across lookups
+	// so the chain scan never allocates.
+	//
+	//fsvet:shared one softirq executes per lookup today; becomes per-core scratch when the engine shards
+	scratch []*tcp.Sock
 }
 
 // NewListen builds a listen table; domain may be nil to disable the
@@ -245,7 +254,7 @@ func (lt *ListenTable) Lookup(t *cpu.Task, local netproto.Addr, flowHash uint32,
 		}
 		return nil
 	}
-	var candidates []*tcp.Sock
+	candidates := lt.scratch[:0]
 	for _, sk := range b {
 		// Scoring an entry reads its socket fields; those lines are
 		// shared read-mostly across cores (an L3 hit, folded into
@@ -256,6 +265,7 @@ func (lt *ListenTable) Lookup(t *cpu.Task, local netproto.Addr, flowHash uint32,
 			candidates = append(candidates, sk)
 		}
 	}
+	lt.scratch = candidates
 	if len(candidates) == 0 {
 		return nil
 	}

@@ -68,6 +68,14 @@ type Params struct {
 	SynCookies bool
 	// CookieSecret keys the cookie ISN.
 	CookieSecret uint32
+
+	// Pool recycles packet headers for every segment the stack builds
+	// (the skb pool). nil degrades to plain allocation; the kernel
+	// installs its per-simulation pool here.
+	Pool *netproto.PacketPool
+	// Socks recycles TCP control blocks for the connection churn of
+	// short-lived workloads. nil degrades to plain allocation.
+	Socks *SockPool
 }
 
 // DefaultParams mirrors conventional Linux settings scaled for the
@@ -194,14 +202,73 @@ func NewSock(params *Params, slockBounce sim.Time) *Sock {
 	}
 }
 
-func (sk *Sock) mkseg(flags netproto.Flags, payload []byte, ack bool) *netproto.Packet {
-	p := &netproto.Packet{
-		Src:     sk.Local,
-		Dst:     sk.Remote,
-		Flags:   flags,
-		Seq:     sk.SndNxt,
-		Payload: payload,
+// Reinit restores a finished socket to its NewSock state for reuse,
+// keeping the Slock (reset in place, same name and bounce penalty)
+// and the capacity of its slices. Identical observable behaviour to a
+// fresh NewSock socket.
+func (sk *Sock) Reinit(params *Params) {
+	sk.Slock.Reset()
+	//fsvet:shared parked socket fresh off the free list: no table entry, no fd, exclusively owned
+	*sk = Sock{
+		State:       Closed,
+		HomeCore:    -1,
+		Slock:       sk.Slock,
+		Lines:       cache.NewLines(3),
+		Params:      params,
+		RcvBuf:      sk.RcvBuf[:0],
+		unacked:     sk.unacked[:0],
+		AcceptQueue: sk.AcceptQueue[:0],
 	}
+}
+
+// SockPool is a free list of TCP control blocks. The kernel returns a
+// socket here once it is dead on both sides (table removal and fd
+// close); passive opens then reuse the block — with its slock, receive
+// buffer and retransmission queue capacity — instead of allocating.
+// Per-kernel, never shared across simulations; nil degrades to
+// NewSock.
+//
+//fsvet:percore TCB free lists shard per-core with the engine (per-CPU slab caches); today one event loop serializes access
+type SockPool struct {
+	free []*Sock
+	// Gets/News/Puts count pool traffic (News = Gets that allocated).
+	Gets, News, Puts uint64
+}
+
+// Get returns a CLOSED socket, recycling a parked one when available.
+func (sp *SockPool) Get(params *Params, slockBounce sim.Time) *Sock {
+	if sp == nil {
+		return NewSock(params, slockBounce)
+	}
+	sp.Gets++
+	if n := len(sp.free); n > 0 {
+		sk := sp.free[n-1]
+		sp.free[n-1] = nil
+		sp.free = sp.free[:n-1]
+		sk.Reinit(params)
+		return sk
+	}
+	sp.News++
+	return NewSock(params, slockBounce)
+}
+
+// Put parks a dead socket for reuse. The caller guarantees no live
+// references remain (not in any table, fd closed, timers cancelled).
+func (sp *SockPool) Put(sk *Sock) {
+	if sp == nil || sk == nil {
+		return
+	}
+	sp.Puts++
+	sp.free = append(sp.free, sk)
+}
+
+func (sk *Sock) mkseg(flags netproto.Flags, payload []byte, ack bool) *netproto.Packet {
+	p := sk.Params.Pool.Get()
+	p.Src = sk.Local
+	p.Dst = sk.Remote
+	p.Flags = flags
+	p.Seq = sk.SndNxt
+	p.Payload = payload
 	if ack {
 		p.Flags |= netproto.ACK
 		p.Ack = sk.RcvNxt
@@ -250,19 +317,19 @@ func ListenInput(env Env, t *cpu.Task, listener *Sock, p *netproto.Packet, isn u
 			// no per-connection state; a valid final ACK will
 			// reconstruct the connection (AcceptCookieACK).
 			listener.CookiesSent++
-			env.Transmit(t, listener, &netproto.Packet{
-				Src: p.Dst, Dst: p.Src,
-				Flags: netproto.SYN | netproto.ACK,
-				Seq:   CookieISN(p.Tuple(), listener.Params.CookieSecret),
-				Ack:   p.Seq + 1,
-			})
+			ck := listener.Params.Pool.Get()
+			ck.Src, ck.Dst = p.Dst, p.Src
+			ck.Flags = netproto.SYN | netproto.ACK
+			ck.Seq = CookieISN(p.Tuple(), listener.Params.CookieSecret)
+			ck.Ack = p.Seq + 1
+			env.Transmit(t, listener, ck)
 			return nil
 		}
 		listener.DroppedSegs++
 		return nil
 	}
 	listener.SynQueue++
-	child := NewSock(listener.Params, slockBounce)
+	child := listener.Params.Socks.Get(listener.Params, slockBounce)
 	child.Local = p.Dst
 	child.Remote = p.Src
 	child.HomeCore = t.CoreID()
@@ -350,11 +417,11 @@ func inputSynSent(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 func inputSynRcvd(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 	if p.Flags.Has(netproto.SYN) {
 		// Retransmitted SYN: re-answer.
-		env.Transmit(t, sk, &netproto.Packet{
-			Src: sk.Local, Dst: sk.Remote,
-			Flags: netproto.SYN | netproto.ACK,
-			Seq:   sk.SndUna, Ack: sk.RcvNxt,
-		})
+		r := sk.Params.Pool.Get()
+		r.Src, r.Dst = sk.Local, sk.Remote
+		r.Flags = netproto.SYN | netproto.ACK
+		r.Seq, r.Ack = sk.SndUna, sk.RcvNxt
+		env.Transmit(t, sk, r)
 		return
 	}
 	if !ackUpdate(env, t, sk, p) {
@@ -561,12 +628,11 @@ func RetransmitTimeout(env Env, t *cpu.Task, sk *Sock) {
 	}
 	sk.Retransmits++
 	seg := sk.unacked[0]
-	p := &netproto.Packet{
-		Src: sk.Local, Dst: sk.Remote,
-		Flags:   seg.Flags,
-		Seq:     seg.Seq,
-		Payload: seg.Payload,
-	}
+	p := sk.Params.Pool.Get()
+	p.Src, p.Dst = sk.Local, sk.Remote
+	p.Flags = seg.Flags
+	p.Seq = seg.Seq
+	p.Payload = seg.Payload
 	// An initial SYN carries no ACK; everything else does.
 	if sk.State != SynSent {
 		p.Flags |= netproto.ACK
@@ -613,11 +679,11 @@ func AcceptCookieACK(env Env, t *cpu.Task, listener *Sock, p *netproto.Packet, s
 		return nil // forged or not ours
 	}
 	if len(listener.AcceptQueue) >= listener.Params.Backlog {
-		listener.DroppedSegs++
+		listener.DroppedSegs++ //fsvet:shared cookie validation is deliberately lockless (no listener slock on the defence path)
 		return nil
 	}
-	listener.CookiesAccepted++
-	child := NewSock(listener.Params, slockBounce)
+	listener.CookiesAccepted++ //fsvet:shared cookie validation is deliberately lockless (no listener slock on the defence path)
+	child := listener.Params.Socks.Get(listener.Params, slockBounce)
 	child.Local = p.Dst
 	child.Remote = p.Src
 	child.HomeCore = t.CoreID()
@@ -629,7 +695,7 @@ func AcceptCookieACK(env Env, t *cpu.Task, listener *Sock, p *netproto.Packet, s
 	env.Accepted(t, child)
 	// The validating ACK may carry piggybacked data.
 	if len(p.Payload) > 0 || p.Flags.Has(netproto.FIN) {
-		Input(env, t, child, p)
+		Input(env, t, child, p) //fsvet:shared child is freshly reconstructed and exclusively owned on the cookie path
 	}
 	return child
 }

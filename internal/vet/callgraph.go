@@ -226,7 +226,10 @@ func fullName(fn *types.Func) string { return fn.FullName() }
 var deferredExecutors = map[string]int{
 	"(*" + ModPath + "/internal/sim.Loop).At":            1,
 	"(*" + ModPath + "/internal/sim.Loop).After":         1,
+	"(*" + ModPath + "/internal/sim.Loop).AtArg":         1,
+	"(*" + ModPath + "/internal/sim.Loop).AfterArg":      1,
 	"(*" + ModPath + "/internal/cpu.Task).Defer":         1,
+	"(*" + ModPath + "/internal/cpu.Task).DeferArg":      0,
 	"(*" + ModPath + "/internal/cpu.Core).Submit":        1,
 	"(*" + ModPath + "/internal/cpu.Core).SubmitSoftIRQ": 1,
 	"(*" + ModPath + "/internal/ktimer.Wheel).Arm":       2,

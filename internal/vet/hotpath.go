@@ -1,0 +1,135 @@
+package vet
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Hot-path discovery shared by the alloc and shard passes.
+//
+// The event-dispatch hot path is declared in the source itself: a
+// function whose declaration carries (on its line or the line above,
+// normally as the last line of its doc comment)
+//
+//	//fsvet:hotpath <description>
+//
+// is a root — an entry point the event loop invokes per packet, per
+// timer fire, or per syscall on the steady-state request path. The
+// hot set is the may-call closure of the roots over the module call
+// graph (static calls, devirtualized interface calls, and escaping
+// function references, exactly the relation the lockorder pass
+// walks). Everything in the closure is held to the allocation budget
+// and the shard-isolation rules.
+//
+// Two further markers classify state for the shard pass:
+//
+//	//fsvet:percore <reason>  on a type or field declaration: the
+//	    state is owned by one simulated core (flow-home ownership);
+//	    lockless hot-path mutation is by design.
+//	//fsvet:shared <reason>   on a type or field declaration, or on a
+//	    mutation site: the state is genuinely shared across cores and
+//	    the unlocked access is acknowledged; every such waiver must be
+//	    justified in DESIGN.md §5.
+//
+// Both markers require a reason; a bare marker is a finding.
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// markers is the parsed inventory of hotpath/percore/shared comment
+// markers, keyed by position for matching against declarations.
+type markers struct {
+	hotpath map[fileLine]bool
+	percore map[fileLine]bool
+	shared  map[fileLine]bool
+}
+
+// collectMarkers scans every loaded file for the three markers.
+// Malformed markers (percore/shared without a reason) are reported as
+// directive findings through v.
+func (v *vetter) collectMarkers() *markers {
+	mk := &markers{
+		hotpath: map[fileLine]bool{},
+		percore: map[fileLine]bool{},
+		shared:  map[fileLine]bool{},
+	}
+	p := v.prog
+	for _, ip := range p.Paths {
+		for _, file := range p.Files[ip] {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					tp := p.RelPos(c.Pos())
+					key := fileLine{tp.Filename, tp.Line}
+					switch {
+					case strings.HasPrefix(text, "fsvet:hotpath"):
+						mk.hotpath[key] = true
+					case strings.HasPrefix(text, "fsvet:percore"):
+						if len(strings.Fields(strings.TrimPrefix(text, "fsvet:percore"))) == 0 {
+							v.findings = append(v.findings, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
+								Pass: PassDirective, Msg: "fsvet:percore needs a reason: //fsvet:percore <why this state is core-owned>"})
+							continue
+						}
+						mk.percore[key] = true
+					case strings.HasPrefix(text, "fsvet:shared"):
+						if len(strings.Fields(strings.TrimPrefix(text, "fsvet:shared"))) == 0 {
+							v.findings = append(v.findings, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
+								Pass: PassDirective, Msg: "fsvet:shared needs a reason: //fsvet:shared <why unlocked sharing is safe>"})
+							continue
+						}
+						mk.shared[key] = true
+					}
+				}
+			}
+		}
+	}
+	return mk
+}
+
+// markedAt reports whether a marker set contains an entry on the
+// declaration's line or the line above it.
+func markedAt(set map[fileLine]bool, file string, line int) bool {
+	return set[fileLine{file, line}] || set[fileLine{file, line - 1}]
+}
+
+// hotPathSet resolves the //fsvet:hotpath roots and computes their
+// may-call closure. The returned map is the hot set; roots lists the
+// marked functions in declaration order (for reporting).
+func hotPathSet(cg *callGraph, mk *markers) (roots []*types.Func, hot map[*types.Func]bool) {
+	hot = map[*types.Func]bool{}
+	for _, fn := range cg.funcs {
+		tp := cg.prog.RelPos(cg.decls[fn].Pos())
+		if markedAt(mk.hotpath, tp.Filename, tp.Line) {
+			roots = append(roots, fn)
+		}
+	}
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if hot[fn] {
+			continue
+		}
+		hot[fn] = true
+		for _, c := range cg.callees[fn] {
+			if !hot[c] {
+				work = append(work, c)
+			}
+		}
+	}
+	return roots, hot
+}
+
+// sortedHotNames renders the hot set deterministically (diagnostics
+// and the budget generator).
+func sortedHotNames(hot map[*types.Func]bool) []string {
+	out := make([]string, 0, len(hot))
+	for fn := range hot {
+		out = append(out, qualifiedName(fn))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -89,6 +89,20 @@ type lockAnalysis struct {
 	// deferredLits are literals that run later with nothing held, with
 	// the function they appear in (for walk context).
 	deferredLits []deferredLit
+	// Entry contexts recorded for the shard pass: for every function
+	// called from a hot-path function, the callers and whether each
+	// call site holds a lock locally. runsLocked() closes this over
+	// the graph — a callee is protected when every hot entry either
+	// holds a lock at the site or comes from a caller that is itself
+	// always entered locked (the Slock convention: netrx acquires,
+	// tcp.Input and everything below it inherit).
+	hot        map[*types.Func]bool
+	entryEdges map[*types.Func][]entryEdge
+}
+
+type entryEdge struct {
+	caller *types.Func
+	held   bool // a lock class is held locally at the call site
 }
 
 type deferredLit struct {
@@ -96,14 +110,17 @@ type deferredLit struct {
 	in  *types.Func
 }
 
-// checkLocks runs the lockorder pass and returns the static graph.
-func (v *vetter) checkLocks(cg *callGraph) []StaticEdge {
+// checkLocks runs the lockorder pass and returns the analysis (entry
+// contexts for the shard pass) plus the static graph.
+func (v *vetter) checkLocks(cg *callGraph, hot map[*types.Func]bool) (*lockAnalysis, []StaticEdge) {
 	la := &lockAnalysis{
 		v: v, cg: cg,
-		classes: map[types.Object]classSet{},
-		ta:      map[*types.Func]classSet{},
-		litTA:   map[*ast.FuncLit]classSet{},
-		edges:   map[[2]string]map[string]bool{},
+		classes:    map[types.Object]classSet{},
+		ta:         map[*types.Func]classSet{},
+		litTA:      map[*ast.FuncLit]classSet{},
+		edges:      map[[2]string]map[string]bool{},
+		hot:        hot,
+		entryEdges: map[*types.Func][]entryEdge{},
 	}
 	la.resolveClasses()
 	la.computeSummaries()
@@ -120,7 +137,7 @@ func (v *vetter) checkLocks(cg *callGraph) []StaticEdge {
 		w.walkBody(d.lit.Body, newLockEnv())
 	}
 	la.reportInversions()
-	return la.sortedEdges()
+	return la, la.sortedEdges()
 }
 
 // skipFunc excludes internal/lock (the model itself) from the walk.
@@ -777,9 +794,77 @@ func (w *lockWalker) walkExprCond(e ast.Expr, env *lockEnv) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			w.emitEdges(env, w.taOfCall(call), w.callSite(call))
+			w.recordEntry(call, env)
 		}
 		return true
 	})
+}
+
+// recordEntry logs the callee's entry context for the shard pass when
+// the caller is on the hot path: held if anything is held here (this
+// walk's env or an enclosing With body), bare otherwise. Interface
+// calls record every module implementer — the walk cannot know which
+// one runs.
+func (w *lockWalker) recordEntry(call *ast.CallExpr, env *lockEnv) {
+	la := w.la
+	if la.hot == nil || !la.hot[w.fn] {
+		return
+	}
+	// A //fsvet:shared waiver on the call line acknowledges an unlocked
+	// handoff of exclusively-owned state (the cookie path handing its
+	// fresh child to Input); it does not poison the callee's entry
+	// context.
+	if tp := la.v.prog.RelPos(call.Pos()); markedAt(la.v.mk.shared, tp.Filename, tp.Line) {
+		return
+	}
+	held := len(w.outer) > 0 || len(env.held) > 0
+	mark := func(fn *types.Func) {
+		if fn == nil || la.cg.decls[fn] == nil {
+			return
+		}
+		la.entryEdges[fn] = append(la.entryEdges[fn], entryEdge{caller: w.fn, held: held})
+	}
+	if fn := la.cg.staticCallee(call); fn != nil {
+		mark(fn)
+	} else if m := la.cg.ifaceCallee(call); m != nil {
+		for _, impl := range la.cg.implementers(m) {
+			mark(impl)
+		}
+	}
+}
+
+// runsLocked computes, for every hot function, whether each of its
+// hot-path entries is covered by a lock: held at the call site, or
+// inherited from a caller that itself always runs locked. Hot roots
+// are entered from the event loop with nothing held, so they are
+// never protected this way; the closure is an optimistic fixpoint
+// (start true, strike out entries the edges refute).
+func (la *lockAnalysis) runsLocked(hot map[*types.Func]bool) map[*types.Func]bool {
+	locked := map[*types.Func]bool{}
+	roots := map[*types.Func]bool{}
+	for fn := range hot {
+		tp := la.cg.prog.RelPos(la.cg.decls[fn].Pos())
+		if markedAt(la.v.mk.hotpath, tp.Filename, tp.Line) {
+			roots[fn] = true
+			continue
+		}
+		if len(la.entryEdges[fn]) > 0 {
+			locked[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range locked {
+			for _, e := range la.entryEdges[fn] {
+				if !e.held && !locked[e.caller] {
+					delete(locked, fn)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return locked
 }
 
 // tryAcquireCond matches `x.TryAcquire(c)` and `!x.TryAcquire(c)`.
@@ -865,6 +950,7 @@ func (w *lockWalker) walkExpr(e ast.Expr, env *lockEnv) {
 			if w.la.cg.decls[fn] != nil {
 				w.emitEdges(env, w.la.ta[fn], qualifiedName(fn))
 			}
+			w.recordEntry(call, env)
 			return
 		}
 	}
@@ -879,6 +965,7 @@ func (w *lockWalker) walkExpr(e ast.Expr, env *lockEnv) {
 	// Ordinary call: edges from everything held to the callee's
 	// transitive acquires; nested argument calls scanned too.
 	w.emitEdges(env, w.taOfCall(call), w.callSite(call))
+	w.recordEntry(call, env)
 	for _, arg := range call.Args {
 		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
 			// A literal handed to anything but a deferred executor

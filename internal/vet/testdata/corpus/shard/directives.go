@@ -1,0 +1,11 @@
+// Malformed marker fixtures: a bare //fsvet:percore or //fsvet:shared
+// carries no justification and is itself a finding. These cannot hold
+// want comments (the comment would join the directive text), so
+// TestGoldenCorpus asserts them by line number.
+package corpus
+
+//fsvet:percore
+type badPercore struct{ n int }
+
+//fsvet:shared
+var badShared int

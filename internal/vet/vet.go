@@ -26,6 +26,18 @@
 //   - escape: sim.Event value handles stored in long-lived struct
 //     fields and later used without generation revalidation
 //     (Live/Cancelled) — use-after-free against the pooled scheduler.
+//   - alloc: heap-allocation sites (composite literals, new/make,
+//     append, map inserts, interface boxing, string conversions,
+//     closures) in every function reachable from the //fsvet:hotpath
+//     roots, checked in both directions against the committed
+//     per-function budget in .fsvet-allocbudget.json; the budget's
+//     runtime ceilings are cross-checked against MemStats and
+//     testing.AllocsPerRun by fsvet -alloc-cross-check.
+//   - shard: hot-path writes to kernel/TCB/stats state must be under a
+//     lock at the site, in a function only ever entered with a lock
+//     held, on //fsvet:percore state, or explicitly waived with
+//     //fsvet:shared <reason> — the per-core isolation proof the
+//     future sharded engine depends on.
 //
 // Findings are suppressible per line with
 //
@@ -56,6 +68,8 @@ const (
 	PassLockOrder   = "lockorder"
 	PassCharge      = "charge"
 	PassEscape      = "escape"
+	PassAlloc       = "alloc"
+	PassShard       = "shard"
 	// PassDirective flags malformed fsvet directives themselves.
 	PassDirective = "fsvet"
 )
@@ -67,6 +81,8 @@ var knownPasses = map[string]bool{
 	PassLockOrder:   true,
 	PassCharge:      true,
 	PassEscape:      true,
+	PassAlloc:       true,
+	PassShard:       true,
 }
 
 // fslintRuleCovers maps an //fslint:ignore rule to the fsvet passes it
@@ -122,12 +138,17 @@ func Run(p *Program) *Result {
 	v.findings = append(v.findings, v.sup.malformed...)
 
 	cg := buildCallGraph(p)
+	mk := v.collectMarkers()
+	v.mk = mk
+	_, hot := hotPathSet(cg, mk)
 	v.checkDeterminism()
 	v.checkReach(cg)
 	v.checkUnits()
-	lockGraph := v.checkLocks(cg)
+	la, lockGraph := v.checkLocks(cg, hot)
 	v.checkCharge(cg)
 	v.checkEscape()
+	v.checkAlloc(cg, hot)
+	v.checkShard(cg, hot, la, mk)
 
 	sort.Slice(v.findings, func(i, j int) bool {
 		a, b := v.findings[i], v.findings[j]
@@ -190,6 +211,7 @@ func ParseBaseline(data []byte) ([]Finding, error) {
 type vetter struct {
 	prog     *Program
 	sup      *suppressor
+	mk       *markers
 	findings []Finding
 }
 
@@ -252,12 +274,18 @@ func (s *suppressor) directive(p *Program, c *ast.Comment) {
 				Pass: PassDirective, Msg: "fsvet:ignore needs a pass and a reason: //fsvet:ignore <pass> <reason>"})
 		case !knownPasses[fields[0]]:
 			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
-				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore names unknown pass %q (known: determinism, reach, units, lockorder, charge, escape)", fields[0])})
+				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore names unknown pass %q (known: determinism, reach, units, lockorder, charge, escape, alloc, shard)", fields[0])})
 		case len(fields) < 2:
 			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
 				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore %s needs a reason", fields[0])})
 		default:
 			s.lines[supKey{tp.Filename, tp.Line, fields[0]}] = true
+		}
+	case strings.HasPrefix(text, "fsvet:shared"):
+		// A well-formed site-level shared waiver also suppresses the
+		// shard pass on its line; collectMarkers reports malformed ones.
+		if len(strings.Fields(strings.TrimPrefix(text, "fsvet:shared"))) > 0 {
+			s.lines[supKey{tp.Filename, tp.Line, PassShard}] = true
 		}
 	case strings.HasPrefix(text, "fslint:ignore"):
 		// fslint validates its own directives; here we only honor the

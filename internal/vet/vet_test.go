@@ -35,6 +35,8 @@ func corpusOverlay(t *testing.T) map[string]string {
 		"fastsocket/internal/kernel/vetcorpus_locks":  abs("lockorder"),
 		"fastsocket/internal/kernel/vetcorpus_charge": abs("charge"),
 		"fastsocket/internal/kernel/vetcorpus_escape": abs("escape"),
+		"fastsocket/internal/kernel/vetcorpus_alloc":  abs("alloc"),
+		"fastsocket/internal/kernel/vetcorpus_shard":  abs("shard"),
 		"fastsocket/vetcorpus/reachutil":              abs("reachutil"),
 	}
 }
@@ -107,13 +109,25 @@ func TestGoldenCorpus(t *testing.T) {
 	res := Run(prog)
 
 	wants := collectWants(t, overlay)
-	// The reasonless-directive case cannot carry a want comment (the
-	// comment would join the directive); assert it explicitly.
-	wants = append(wants, expectation{
-		file: "internal/vet/testdata/corpus/determinism/directives.go",
-		line: 30,
-		re:   regexp.MustCompile(`fsvet:ignore units needs a reason`),
-	})
+	// Reasonless-directive cases cannot carry want comments (the
+	// comment would join the directive); assert them explicitly.
+	wants = append(wants,
+		expectation{
+			file: "internal/vet/testdata/corpus/determinism/directives.go",
+			line: 30,
+			re:   regexp.MustCompile(`fsvet:ignore units needs a reason`),
+		},
+		expectation{
+			file: "internal/vet/testdata/corpus/shard/directives.go",
+			line: 7,
+			re:   regexp.MustCompile(`fsvet:percore needs a reason`),
+		},
+		expectation{
+			file: "internal/vet/testdata/corpus/shard/directives.go",
+			line: 10,
+			re:   regexp.MustCompile(`fsvet:shared needs a reason`),
+		},
+	)
 
 	inCorpus := func(f Finding) bool {
 		return strings.HasPrefix(f.File, "internal/vet/testdata/")
@@ -193,16 +207,18 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 }
 
-// TestRunIsDeterministic loads the repository twice from scratch and
-// requires byte-identical JSON: pass output must not depend on map
-// iteration order anywhere in the analyzer itself.
+// TestRunIsDeterministic loads the repository plus the golden corpus
+// twice from scratch and requires byte-identical JSON: pass output —
+// including the alloc and shard findings the corpus provokes — must
+// not depend on map iteration order anywhere in the analyzer itself.
 func TestRunIsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full type-check loads")
 	}
+	overlay := corpusOverlay(t)
 	var out [2][]byte
 	for i := range out {
-		prog, err := Load(repoRoot)
+		prog, err := LoadWithOverlay(repoRoot, overlay)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,6 +226,11 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(out[0], out[1]) {
 		t.Fatalf("two runs produced different JSON:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out[0], out[1])
+	}
+	for _, pass := range []string{PassAlloc, PassShard} {
+		if !bytes.Contains(out[0], []byte(`"`+pass+`"`)) {
+			t.Errorf("determinism run produced no %s findings — the corpus should provoke some", pass)
+		}
 	}
 }
 

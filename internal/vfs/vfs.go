@@ -67,6 +67,8 @@ type Costs struct {
 
 // File is an open socket file: the private_data pointer plus the
 // minimal inode identity kept for /proc compatibility.
+//
+//fsvet:percore a File belongs to the process that installed its fd; teardown runs from that owner
 type File struct {
 	Ino  uint64
 	Sock any // *tcp.Sock, opaque here
@@ -91,9 +93,18 @@ type Layer struct {
 	dcacheSharded *lock.Sharded
 	inodeSharded  *lock.Sharded
 
+	//fsvet:shared machine-wide inode counter; the Fastsocket fast path deliberately skips the VFS locks (per-socket VFS, §3.4), sharding it is ROADMAP work
 	nextIno uint64
-	open    map[uint64]*File // /proc registry of live socket inodes
-	stats   Stats
+	//fsvet:shared machine-wide /proc registry kept for compatibility; mutated locklessly on the fast path by design (§3.4)
+	open map[uint64]*File // /proc registry of live socket inodes
+	//fsvet:shared lossy aggregate counters on the lockless fast path
+	stats Stats
+	// fileFree recycles File structs (the socket-slab analogue for the
+	// struct file). Inode numbers are still minted fresh from nextIno,
+	// so /proc output is unchanged by recycling.
+	//
+	//fsvet:percore file free list shards per-core with the engine (per-CPU slab caches)
+	fileFree []*File
 }
 
 // NewLayer builds the VFS for a kernel. bounce is the lock cache-line
@@ -137,18 +148,42 @@ func (l *Layer) InodeStats() lock.Stats {
 	return l.Inode.Stats()
 }
 
+// getFile mints a file with a fresh inode number, recycling a struct
+// from the free list when one is parked.
+func (l *Layer) getFile(sock any) *File {
+	l.nextIno++
+	if n := len(l.fileFree); n > 0 {
+		f := l.fileFree[n-1]
+		l.fileFree[n-1] = nil
+		l.fileFree = l.fileFree[:n-1]
+		f.Ino = l.nextIno
+		f.Sock = sock
+		return f
+	}
+	return &File{Ino: l.nextIno, Sock: sock}
+}
+
 // AllocSocketFile creates the VFS side of a socket: file + inode (+
 // dentry on the legacy paths).
 func (l *Layer) AllocSocketFile(t *cpu.Task, sock any) *File {
-	l.nextIno++
-	f := &File{Ino: l.nextIno, Sock: sock}
+	f := l.getFile(sock)
 	switch l.mode {
 	case Legacy2632:
-		l.Dcache.With(t, func() { t.Charge(l.costs.DentryWork) })
-		l.Inode.With(t, func() { t.Charge(l.costs.InodeWork) })
+		l.Dcache.Acquire(t)
+		t.Charge(l.costs.DentryWork)
+		l.Dcache.Release(t)
+		l.Inode.Acquire(t)
+		t.Charge(l.costs.InodeWork)
+		l.Inode.Release(t)
 	case Sharded313:
-		l.dcacheSharded.Shard(f.Ino).With(t, func() { t.Charge(l.costs.ShardedWork) })
-		l.inodeSharded.Shard(f.Ino).With(t, func() { t.Charge(l.costs.ShardedWork) })
+		d := l.dcacheSharded.Shard(f.Ino)
+		d.Acquire(t)
+		t.Charge(l.costs.ShardedWork)
+		d.Release(t)
+		i := l.inodeSharded.Shard(f.Ino)
+		i.Acquire(t)
+		t.Charge(l.costs.ShardedWork)
+		i.Release(t)
 	case Fastpath:
 		// Fastsocket-aware VFS: no dentry/inode tables, no locks;
 		// only the inode number and socket pointer needed by /proc.
@@ -164,29 +199,40 @@ func (l *Layer) AllocSocketFile(t *cpu.Task, sock any) *File {
 // runs), outside any core context: no costs are charged and no locks
 // are touched. Used for listeners the master creates before forking.
 func (l *Layer) AllocBoot(sock any) *File {
-	l.nextIno++
-	f := &File{Ino: l.nextIno, Sock: sock}
+	f := l.getFile(sock)
 	l.open[f.Ino] = f
 	l.stats.Allocs++
 	l.stats.Live++
 	return f
 }
 
-// FreeSocketFile tears the file down.
+// FreeSocketFile tears the file down and parks the struct for reuse.
 func (l *Layer) FreeSocketFile(t *cpu.Task, f *File) {
 	switch l.mode {
 	case Legacy2632:
-		l.Dcache.With(t, func() { t.Charge(l.costs.FreeWork) })
-		l.Inode.With(t, func() { t.Charge(l.costs.FreeWork) })
+		l.Dcache.Acquire(t)
+		t.Charge(l.costs.FreeWork)
+		l.Dcache.Release(t)
+		l.Inode.Acquire(t)
+		t.Charge(l.costs.FreeWork)
+		l.Inode.Release(t)
 	case Sharded313:
-		l.dcacheSharded.Shard(f.Ino).With(t, func() { t.Charge(l.costs.ShardedWork) })
-		l.inodeSharded.Shard(f.Ino).With(t, func() { t.Charge(l.costs.ShardedWork) })
+		d := l.dcacheSharded.Shard(f.Ino)
+		d.Acquire(t)
+		t.Charge(l.costs.ShardedWork)
+		d.Release(t)
+		i := l.inodeSharded.Shard(f.Ino)
+		i.Acquire(t)
+		t.Charge(l.costs.ShardedWork)
+		i.Release(t)
 	case Fastpath:
 		t.Charge(l.costs.FastWork)
 	}
 	delete(l.open, f.Ino)
 	l.stats.Frees++
 	l.stats.Live--
+	f.Sock = nil
+	l.fileFree = append(l.fileFree, f)
 }
 
 // ProcEntries lists live socket inodes — the information /proc-based
@@ -209,6 +255,8 @@ func (l *Layer) ProcEntries() []*File {
 // POSIX lowest-available-fd rule — the paper keeps this rule (unlike
 // Megapipe) because applications such as HAProxy index connection
 // arrays by fd and assume it.
+//
+//fsvet:percore one fd table per process, and each process is pinned to one core (the paper's per-process model)
 type FDTable struct {
 	files []*File
 }

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint vet allocgate test bench bench-go figures quick-figures faults examples clean
+.PHONY: all build lint vet allocgate shardgate test bench bench-go figures quick-figures faults examples clean
 
 all: build test
 
@@ -35,6 +35,16 @@ vet:
 # (ceilings, notes and corpus fixture entries are preserved).
 allocgate:
 	go run ./cmd/fsvet -root . -alloc-cross-check -bench-out BENCH_allocgate.json
+
+# Shard gate: the conservative-lookahead engine's equality suite under
+# the race detector — engine unit tests (parallel == serial traces,
+# deterministic Pending/Fired aggregation) plus the experiment digest
+# suite (Figure 4/5, Table 1, loss sweep, overload ramp bit-identical
+# between Shards=1 and Shards>1, with mailbox traffic asserted
+# non-vacuous).
+shardgate:
+	go test -race ./internal/shard
+	go test -race -run 'TestShardDigest' ./internal/experiment
 
 test: lint vet allocgate
 	go test ./...

@@ -62,6 +62,7 @@ func main() {
 		coresFlag = flag.String("cores", "", "comma-separated core counts for figure4 (default 1,4,8,12,16,20,24)")
 		quick     = flag.Bool("quick", false, "small windows for a fast smoke run")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "host workers for independent sweep points (1 = serial; results are identical)")
+		shards    = flag.Int("shards", 0, "shard workers inside each simulation (0 = legacy single-loop engine; 1 = serial shard reference; results are identical at any value)")
 		faultSpec = flag.String("faults", "", "fault plan for ad-hoc robustness runs, e.g. loss=0.01,ring=256,allocfail=0.001 (applies to every experiment run)")
 	)
 	flag.Usage = usage
@@ -85,11 +86,14 @@ func main() {
 		}
 		o.Fault = &plan
 	}
+	o.Shards = *shards
 	if *parallel > 1 {
 		// Sweep points (kernel x cores grid cells, table columns) are
 		// whole, independently-seeded simulations; internal/sweep runs
 		// them on parallel host workers without changing any result.
-		o.Runner = sweep.Parallel{Workers: *parallel}
+		// With the shard engine active inside each point, the outer
+		// sweep shrinks so the two layers share the host budget.
+		o.Runner = sweep.Parallel{Workers: sweep.Budget(*parallel, *shards)}
 	}
 	f3 := experiment.Figure3Options{Seed: *seed}
 	if *quick {

@@ -30,7 +30,9 @@ import (
 	"fastsocket/internal/experiment"
 	"fastsocket/internal/kernel"
 	"fastsocket/internal/netproto"
+	"fastsocket/internal/shard"
 	"fastsocket/internal/sim"
+	"fastsocket/internal/stats"
 )
 
 // simperfMacroRun is one kernel profile's Figure-4a-style measurement.
@@ -56,10 +58,35 @@ type simperfEngineRun struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// simperfShardRun is one worker-count measurement of the shard
+// engine's fixed multi-machine workload. The simulated outcome fields
+// (events, sim_conns, merged_p99_us, mail_posted) are bit-identical
+// at every worker count — runSimperf aborts if not — so only the
+// wall-side columns move with parallelism.
+type simperfShardRun struct {
+	Workers        int     `json:"workers"`
+	WallMillis     float64 `json:"wall_millis"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	SimConns       uint64  `json:"sim_conns"`
+	MergedP99Us    float64 `json:"merged_p99_us"`
+	MailPosted     uint64  `json:"mail_posted"`
+	Speedup        float64 `json:"speedup_vs_serial"`
+}
+
 type simperfReport struct {
-	Note   string             `json:"note"`
-	Macro  []simperfMacroRun  `json:"macro"`
-	Engine []simperfEngineRun `json:"engine"`
+	Note string `json:"note"`
+	// HostCPUs qualifies every wall-side number, the shard section's
+	// speedups above all: with fewer host CPUs than shard workers the
+	// workers time-slice and the extra parallelism cannot show (on a
+	// single-CPU host every speedup reads ~1.0 minus barrier
+	// overhead); the bit-identical simulated outcome is what the
+	// section enforces on any host.
+	HostCPUs int                `json:"host_cpus"`
+	Macro    []simperfMacroRun  `json:"macro"`
+	Shard    []simperfShardRun  `json:"shard"`
+	Engine   []simperfEngineRun `json:"engine"`
 	// Totals aggregate the macro section (the headline numbers).
 	TotalEvents         uint64  `json:"total_events"`
 	TotalEventsPerSec   float64 `json:"total_events_per_sec"`
@@ -127,6 +154,106 @@ func simperfMacro(spec experiment.KernelSpec) simperfMacroRun {
 	if events > 0 {
 		r.EventsPerSec = roundTo(float64(events)/wall.Seconds(), 0)
 		r.NsPerEvent = roundTo(float64(wall.Nanoseconds())/float64(events), 1)
+		r.AllocsPerEvent = roundTo(float64(allocs)/float64(events), 4)
+	}
+	return r
+}
+
+// The shard section's fixed topology: 8 web-server machines (the
+// three stock kernel profiles rotated) each loaded by its own client
+// machine — 16 coupling domains, every request/response crossing the
+// fabric, so the equality checks below are anything but vacuous.
+const (
+	shardServers = 8
+	shardCores   = 4
+	shardConc    = 300 // per server core
+)
+
+// simperfShard runs the fixed multi-machine workload on the
+// conservative-lookahead engine at the given worker count and
+// measures the engine while it runs. Per-domain state — event pools,
+// packet free lists, RNG streams, fault views — is private to each
+// shard by construction, so worker threads share only the frozen
+// routing maps and the barrier mailboxes.
+func simperfShard(workers int) simperfShardRun {
+	eng := shard.NewEngine(shard.Config{Lookahead: 20 * sim.Microsecond, Workers: workers})
+	netw := app.NewShardedNetwork(eng, 20*sim.Microsecond)
+	specs := experiment.StockKernels()
+	// Servers first, then clients: the engine deals domains to
+	// workers round-robin, so this order pairs each heavy server
+	// domain with a light client domain on every worker.
+	srvLoops := make([]*sim.Loop, shardServers)
+	for i := range srvLoops {
+		srvLoops[i] = eng.AddDomain(fmt.Sprintf("server%d", i))
+	}
+	cliLoops := make([]*sim.Loop, shardServers)
+	for i := range cliLoops {
+		cliLoops[i] = eng.AddDomain(fmt.Sprintf("client%d", i))
+	}
+	clis := make([]*app.HTTPLoad, shardServers)
+	for i := 0; i < shardServers; i++ {
+		spec := specs[i%len(specs)]
+		var ips []netproto.IP
+		for c := 0; c < shardCores; c++ {
+			ips = append(ips, netproto.IPv4(10, 1, byte(i), byte(c+1)))
+		}
+		k := kernel.New(srvLoops[i], kernel.Config{
+			Name:  fmt.Sprintf("%s#%d", spec.Label, i),
+			Cores: shardCores,
+			Mode:  spec.Mode,
+			Feat:  spec.Feat,
+			IPs:   ips,
+			Seed:  uint64(i + 1),
+		})
+		netw.Port(i).AttachKernel(k)
+		app.NewWebServer(k, app.WebServerConfig{}).Start()
+		var targets []netproto.Addr
+		for _, ip := range ips {
+			targets = append(targets, netproto.Addr{IP: ip, Port: 80})
+		}
+		var cips []netproto.IP
+		for j := 0; j < 4; j++ {
+			cips = append(cips, netproto.IPv4(10, 2, byte(i), byte(j+1)))
+		}
+		clis[i] = app.NewHTTPLoad(cliLoops[i], netw.Port(shardServers+i), app.HTTPLoadConfig{
+			Targets:     targets,
+			ClientIPs:   cips,
+			Concurrency: shardConc * shardCores,
+			Seed:        uint64(1000 + i),
+		})
+		clis[i].Start()
+	}
+	netw.Freeze()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	eng.Run(simperfWarmup + simperfWindow)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	eng.Close()
+
+	// Aggregate the simulated outcome in domain index order: summed
+	// completions and one histogram merged across clients.
+	merged := stats.NewHistogram()
+	var conns uint64
+	for _, c := range clis {
+		conns += c.Completed
+		merged.Merge(c.Latencies)
+	}
+	events := eng.Fired()
+	allocs := m1.Mallocs - m0.Mallocs
+	r := simperfShardRun{
+		Workers:     workers,
+		WallMillis:  roundTo(float64(wall.Nanoseconds())/1e6, 1),
+		Events:      events,
+		SimConns:    conns,
+		MergedP99Us: roundTo(float64(merged.Percentile(99))/float64(sim.Microsecond), 1),
+		MailPosted:  eng.Stats().Posted,
+	}
+	if events > 0 {
+		r.EventsPerSec = roundTo(float64(events)/wall.Seconds(), 0)
 		r.AllocsPerEvent = roundTo(float64(allocs)/float64(events), 4)
 	}
 	return r
@@ -224,8 +351,9 @@ func simperfSparsePoll(name string, n int) simperfEngineRun {
 // runSimperf executes both sections and writes BENCH_simperf.json.
 func runSimperf() string {
 	rep := simperfReport{
-		Note: fmt.Sprintf("fixed Figure-4a-style run: 3 stock kernels, %d cores, %v simulated, seed 1; engine churn 1e6 ops; regenerate with `make bench` (wall-side numbers are machine-dependent; sim_conns are not)",
-			simperfCores, simperfWarmup+simperfWindow),
+		Note: fmt.Sprintf("fixed Figure-4a-style run: 3 stock kernels, %d cores, %v simulated, seed 1; shard section: %d paired server/client machines on the conservative-lookahead engine at 1/2/4/8 workers (simulated outcome bit-identical across worker counts, enforced); engine churn 1e6 ops; regenerate with `make bench` (wall-side numbers are machine-dependent; sim_conns are not)",
+			simperfCores, simperfWarmup+simperfWindow, shardServers),
+		HostCPUs: runtime.NumCPU(),
 	}
 	var wallNs float64
 	for _, spec := range experiment.StockKernels() {
@@ -239,6 +367,22 @@ func runSimperf() string {
 		rep.TotalEventsPerSec = roundTo(float64(rep.TotalEvents)/(wallNs/1e9), 0)
 	}
 	rep.TotalAllocsPerEvent = roundTo(rep.TotalAllocsPerEvent/float64(len(rep.Macro)), 4)
+
+	var ref simperfShardRun
+	for _, w := range []int{1, 2, 4, 8} {
+		r := simperfShard(w)
+		if w == 1 {
+			ref = r
+		} else if r.Events != ref.Events || r.SimConns != ref.SimConns ||
+			r.MergedP99Us != ref.MergedP99Us || r.MailPosted != ref.MailPosted {
+			fmt.Fprintf(os.Stderr, "fsbench: shard engine determinism violated at workers=%d:\n  got %+v\n  ref %+v\n", w, r, ref)
+			os.Exit(1)
+		}
+		if r.WallMillis > 0 {
+			r.Speedup = roundTo(ref.WallMillis/r.WallMillis, 2)
+		}
+		rep.Shard = append(rep.Shard, r)
+	}
 
 	const ops = 1_000_000
 	rep.Engine = append(rep.Engine,

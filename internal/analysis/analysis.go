@@ -89,6 +89,15 @@ var exemptPkgs = map[string]string{
 	// never any simulated outcome. go test -race ./internal/sweep
 	// asserts parallel results are byte-identical to serial ones.
 	"sweep": "host-parallel sweep orchestration; jobs are whole independently-seeded simulations",
+	// shard is the conservative-lookahead parallel engine: real
+	// goroutines step disjoint coupling domains (whole sim.Loops)
+	// between barriers, and every cross-domain injection is mailed
+	// and drained in (time, source shard, source sequence) order on
+	// the coordinator. Thread scheduling can reorder only wall-clock
+	// progress, never any simulated outcome; go test -race
+	// ./internal/shard and the sharded digest-equality suite
+	// (make shardgate) prove parallel == serial bit-for-bit.
+	"shard": "conservative-lookahead parallel engine; domains are whole sim.Loops synchronized at deterministic mailbox barriers",
 }
 
 // forbiddenImports are packages whose mere linkage into a restricted

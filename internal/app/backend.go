@@ -13,7 +13,7 @@ import (
 // has infinite capacity, so the proxy machine is the bottleneck.
 type Backend struct {
 	loop *sim.Loop
-	net  *Network
+	net  Wire
 	rng  *sim.Rand
 
 	addr         netproto.Addr
@@ -48,7 +48,7 @@ type BackendConfig struct {
 }
 
 // NewBackend builds the origin and attaches it to the fabric.
-func NewBackend(loop *sim.Loop, net *Network, cfg BackendConfig) *Backend {
+func NewBackend(loop *sim.Loop, net Wire, cfg BackendConfig) *Backend {
 	if cfg.ResponseLen == 0 {
 		// "a backend server sending a constant 64-byte page": 64-byte
 		// body plus minimal headers.

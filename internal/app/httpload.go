@@ -15,7 +15,7 @@ import (
 // Fastsocket on the clients to saturate the server.
 type HTTPLoad struct {
 	loop *sim.Loop
-	net  *Network
+	net  Wire
 	rng  *sim.Rand
 
 	ips     []netproto.IP   // client source addresses
@@ -118,7 +118,7 @@ type HTTPLoadConfig struct {
 }
 
 // NewHTTPLoad builds the generator and attaches it to the fabric.
-func NewHTTPLoad(loop *sim.Loop, net *Network, cfg HTTPLoadConfig) *HTTPLoad {
+func NewHTTPLoad(loop *sim.Loop, net Wire, cfg HTTPLoadConfig) *HTTPLoad {
 	if len(cfg.ClientIPs) == 0 {
 		for i := 0; i < 32; i++ {
 			cfg.ClientIPs = append(cfg.ClientIPs, netproto.IPv4(10, 2, 0, byte(i+1)))

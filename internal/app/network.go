@@ -11,12 +11,23 @@ import (
 	"fastsocket/internal/fault"
 	"fastsocket/internal/kernel"
 	"fastsocket/internal/netproto"
+	"fastsocket/internal/shard"
 	"fastsocket/internal/sim"
 )
 
 // Endpoint receives packets addressed to its IPs.
 type Endpoint interface {
 	Deliver(p *netproto.Packet)
+}
+
+// Wire is the transmit-side view of the fabric an application holds:
+// the whole Network in legacy single-loop mode, or its own domain's
+// Port under the sharded engine. Everything an endpoint does to the
+// fabric goes through its Wire, so cross-domain effects are funneled
+// into the mailbox API by construction.
+type Wire interface {
+	Send(p *netproto.Packet)
+	Attach(ep Endpoint, ips ...netproto.IP)
 }
 
 // NetworkStats counts fabric activity.
@@ -26,11 +37,29 @@ type NetworkStats struct {
 	Unroutable uint64 // no endpoint for destination IP
 }
 
+// Add merges two fabric snapshots (per-port counters under the
+// sharded engine are summed in domain index order).
+func (s NetworkStats) Add(o NetworkStats) NetworkStats {
+	s.Delivered += o.Delivered
+	s.LostRandom += o.LostRandom
+	s.Unroutable += o.Unroutable
+	return s
+}
+
 // Network is the switch fabric: constant one-way delay, optional
 // random loss for failure-injection tests, and — when a kernel with a
 // fault plan is attached — the deterministic link-fault layer.
+//
+// It runs in one of two modes. Legacy (NewNetwork): one sim.Loop
+// carries every endpoint and Send schedules arrivals directly; this
+// is the path all committed experiment outputs were produced on and
+// it is byte-identical to the pre-shard fabric. Sharded
+// (NewShardedNetwork): endpoints live on shard.Engine domains, each
+// domain transmits through its own Port, and cross-domain arrivals
+// ride the engine's deterministic mailboxes with the fabric delay as
+// the lookahead window.
 type Network struct {
-	loop      *sim.Loop
+	loop      *sim.Loop // legacy mode only
 	delay     sim.Time
 	endpoints map[netproto.IP]Endpoint
 	loss      float64
@@ -42,10 +71,17 @@ type Network struct {
 	// per-packet closure). The destination is resolved again at arrival
 	// time; the endpoint map is fixed once the run starts.
 	deliverFn func(any)
+
+	// Sharded mode.
+	eng    *shard.Engine
+	domOf  map[netproto.IP]int // destination domain per attached IP
+	ports  []*Port             // lazily created, one per domain
+	frozen bool                // topology sealed before the engine runs
 }
 
-// NewNetwork builds a fabric with the given one-way delay (the
-// paper's testbed is a 10GE LAN; ~25us one-way is typical).
+// NewNetwork builds a legacy single-loop fabric with the given
+// one-way delay (the paper's testbed is a 10GE LAN; ~25us one-way is
+// typical).
 func NewNetwork(loop *sim.Loop, delay sim.Time) *Network {
 	n := &Network{
 		loop:      loop,
@@ -62,14 +98,74 @@ func NewNetwork(loop *sim.Loop, delay sim.Time) *Network {
 	return n
 }
 
-// Stats returns a snapshot of the fabric counters.
-func (n *Network) Stats() NetworkStats { return n.stats }
+// NewShardedNetwork builds a fabric over the engine's domains. The
+// fabric delay must be at least the engine's lookahead, or the first
+// cross-domain Send will (correctly) panic as a lookahead violation.
+func NewShardedNetwork(eng *shard.Engine, delay sim.Time) *Network {
+	n := &Network{
+		delay:     delay,
+		endpoints: map[netproto.IP]Endpoint{},
+		eng:       eng,
+		domOf:     map[netproto.IP]int{},
+	}
+	n.deliverFn = func(v any) {
+		p := v.(*netproto.Packet)
+		if ep, ok := n.endpoints[p.Dst.IP]; ok {
+			ep.Deliver(p)
+		}
+	}
+	return n
+}
+
+// Sharded reports whether the fabric rides a shard engine.
+func (n *Network) Sharded() bool { return n.eng != nil }
+
+// Freeze seals the sharded topology: after it, Attach panics. The
+// harness calls it before the engine's first Run, making the routing
+// maps read-only for the whole parallel phase — worker threads only
+// ever read them.
+func (n *Network) Freeze() { n.frozen = true }
+
+// Stats returns a snapshot of the fabric counters; under the sharded
+// engine the per-port counters merge in domain index order.
+func (n *Network) Stats() NetworkStats {
+	if n.eng == nil {
+		return n.stats
+	}
+	var total NetworkStats
+	for _, p := range n.ports {
+		if p != nil {
+			total = total.Add(p.stats)
+		}
+	}
+	return total
+}
+
+// FaultStats merges the link-fault counters across sender views in
+// domain index order (legacy mode reports the single engine's).
+func (n *Network) FaultStats() fault.Stats {
+	if n.eng == nil {
+		return n.faults.Stats()
+	}
+	var total fault.Stats
+	for _, p := range n.ports {
+		if p != nil {
+			total = total.Add(p.faults.Stats())
+		}
+	}
+	return total
+}
 
 // SetLoss enables random packet loss with probability p.
 func (n *Network) SetLoss(p float64) { n.loss = p }
 
-// Attach registers an endpoint for the given IPs.
+// Attach registers an endpoint for the given IPs (legacy mode; the
+// sharded fabric attaches through a domain's Port so every IP has an
+// owning shard).
 func (n *Network) Attach(ep Endpoint, ips ...netproto.IP) {
+	if n.eng != nil {
+		panic("app: sharded fabric requires Port(dom).Attach")
+	}
 	for _, ip := range ips {
 		n.endpoints[ip] = ep
 	}
@@ -122,4 +218,111 @@ func (n *Network) deliver(p *netproto.Packet, delay sim.Time) {
 	}
 	n.stats.Delivered++
 	n.loop.AfterArg(delay, n.deliverFn, p)
+}
+
+// Port is one domain's handle on the sharded fabric. Each sending
+// domain owns its loss RNG, fault sender-view, and counters, so
+// transmit-side state is never shared across worker threads; routing
+// state (the endpoint and domain maps) is sealed read-only by the
+// first Send. Port implements Wire.
+type Port struct {
+	n      *Network
+	dom    int
+	loop   *sim.Loop
+	rng    *sim.Rand
+	faults *fault.Engine // sender view, created when the fabric is armed
+	stats  NetworkStats
+}
+
+// Port returns domain dom's transmit handle.
+func (n *Network) Port(dom int) *Port {
+	if n.eng == nil {
+		panic("app: Port requires a sharded fabric")
+	}
+	for len(n.ports) <= dom {
+		n.ports = append(n.ports, nil)
+	}
+	if n.ports[dom] == nil {
+		n.ports[dom] = &Port{
+			n:    n,
+			dom:  dom,
+			loop: n.eng.Loop(dom),
+			// Distinct deterministic stream per sending domain (the
+			// legacy fabric's single stream cannot be shared across
+			// worker threads).
+			rng: sim.NewRand(0xFAB41C ^ (uint64(dom)+1)*0x9e3779b97f4a7c15),
+		}
+	}
+	return n.ports[dom]
+}
+
+// Attach registers an endpoint's IPs as owned by this port's domain.
+func (p *Port) Attach(ep Endpoint, ips ...netproto.IP) {
+	if p.n.frozen {
+		panic("app: Attach after the sharded fabric started")
+	}
+	for _, ip := range ips {
+		p.n.endpoints[ip] = ep
+		p.n.domOf[ip] = p.dom
+	}
+}
+
+// AttachKernel wires a kernel into this port's domain; the kernel's
+// loop must be the domain's loop. A kernel carrying a fault engine
+// arms the whole fabric: every port then derives a sender view
+// sharing the engine's seed and plan.
+func (p *Port) AttachKernel(k *kernel.Kernel) {
+	k.SendToWire = p.Send
+	p.Attach(k, k.IPs()...)
+	if e := k.Faults(); e != nil {
+		p.n.faults = e
+	}
+}
+
+// Send puts a packet on the wire from this port's domain; identical
+// fault semantics to the legacy fabric, decided by this domain's
+// sender view (per-flow-keyed, so decisions match the single-engine
+// run — see fault.SenderView).
+func (p *Port) Send(pkt *netproto.Packet) {
+	n := p.n
+	if p.faults == nil && n.faults != nil {
+		p.faults = n.faults.SenderView()
+	}
+	if n.loss > 0 && p.rng.Bool(n.loss) {
+		p.stats.LostRandom++
+		return
+	}
+	delay := n.delay
+	if p.faults != nil && p.faults.Plan().LinkEnabled() {
+		switch act, extra := p.faults.LinkAction(pkt); act {
+		case fault.Drop:
+			p.stats.LostRandom++
+			return
+		case fault.Dup:
+			d := *pkt
+			p.deliver(&d, delay)
+		case fault.Reorder:
+			delay += extra
+		case fault.Corrupt:
+			pkt = fault.CorruptCopy(pkt)
+		}
+	}
+	p.deliver(pkt, delay)
+}
+
+// deliver mails the arrival to the destination's domain. Same-domain
+// traffic schedules directly; cross-domain traffic rides the engine
+// mailbox and is injected at the next barrier in deterministic
+// (time, source shard, source sequence) order.
+//
+//fsvet:mailbox the sharded fabric's sole cross-domain delivery path
+func (p *Port) deliver(pkt *netproto.Packet, delay sim.Time) {
+	n := p.n
+	dom, ok := n.domOf[pkt.Dst.IP]
+	if !ok {
+		p.stats.Unroutable++
+		return
+	}
+	p.stats.Delivered++
+	n.eng.Post(p.dom, dom, p.loop.Now()+delay, n.deliverFn, pkt)
 }

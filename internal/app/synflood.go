@@ -16,7 +16,7 @@ import (
 // spoofed floods.
 type SYNFlood struct {
 	loop *sim.Loop
-	net  *Network
+	net  Wire
 	rng  *sim.Rand
 
 	target netproto.Addr
@@ -35,7 +35,7 @@ type SYNFloodConfig struct {
 }
 
 // NewSYNFlood builds the attacker (call Start to begin).
-func NewSYNFlood(loop *sim.Loop, net *Network, cfg SYNFloodConfig) *SYNFlood {
+func NewSYNFlood(loop *sim.Loop, net Wire, cfg SYNFloodConfig) *SYNFlood {
 	if cfg.Rate <= 0 {
 		cfg.Rate = 100000
 	}

@@ -12,6 +12,7 @@ import (
 	"fastsocket/internal/kernel"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/nic"
+	"fastsocket/internal/shard"
 	"fastsocket/internal/sim"
 	"fastsocket/internal/stats"
 )
@@ -52,6 +53,15 @@ type Options struct {
 	// machine under test and switches the load generator into its
 	// loss-tolerant (retransmitting) mode.
 	Fault *fault.Plan
+	// Shards selects the execution engine for each simulation. 0 (the
+	// default) is the legacy single-loop scheduler every committed
+	// experiment output was produced on. >= 1 runs the bed's coupling
+	// domains (server machine, client generator, backend origin) on
+	// the conservative-lookahead shard engine with that many worker
+	// threads; Shards=1 is the serial reference the digest-equality
+	// suite compares against, and any Shards>=1 value yields
+	// bit-identical results by construction.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +108,11 @@ type Measurement struct {
 	P99Conn sim.Time
 	// SNMP holds the window's netstat-style counter deltas.
 	SNMP stats.SNMP
+	// MailPosted counts cross-shard mailbox injections during the run
+	// (0 on the legacy engine). It is diagnostic — identical between
+	// Shards=1 and Shards>1 — and deliberately outside the digest, so
+	// legacy and sharded digests stay comparable.
+	MailPosted uint64
 }
 
 // serverIPs builds n listen addresses.
@@ -127,9 +142,82 @@ func StockKernels() []KernelSpec {
 	}
 }
 
+// fabricDelay is the testbed LAN's one-way latency (the paper's
+// testbed is a 10GE LAN); under the shard engine it doubles as the
+// conservative lookahead window.
+const fabricDelay = 20 * sim.Microsecond
+
+// fabric is the execution substrate of one bed: either a legacy
+// single loop carrying every endpoint, or a shard.Engine with one
+// domain per coupling domain (machine / traffic generator). Domains
+// are named at construction; index order is the deterministic
+// tie-break order for simultaneous cross-domain arrivals, so it is
+// part of the simulated configuration.
+type fabric struct {
+	netw  *app.Network
+	eng   *shard.Engine // nil in legacy mode
+	loops []*sim.Loop   // per domain (all the same loop in legacy mode)
+	wires []app.Wire    // per domain transmit handle
+}
+
+func newFabric(shards int, names ...string) *fabric {
+	f := &fabric{}
+	if shards >= 1 {
+		f.eng = shard.NewEngine(shard.Config{Lookahead: fabricDelay, Workers: shards})
+		for _, nm := range names {
+			f.loops = append(f.loops, f.eng.AddDomain(nm))
+		}
+		f.netw = app.NewShardedNetwork(f.eng, fabricDelay)
+		for i := range names {
+			f.wires = append(f.wires, f.netw.Port(i))
+		}
+	} else {
+		loop := sim.NewLoop()
+		f.netw = app.NewNetwork(loop, fabricDelay)
+		for range names {
+			f.loops = append(f.loops, loop)
+			f.wires = append(f.wires, f.netw)
+		}
+	}
+	return f
+}
+
+func (f *fabric) attachKernel(dom int, k *kernel.Kernel) {
+	if f.eng != nil {
+		f.netw.Port(dom).AttachKernel(k)
+	} else {
+		f.netw.AttachKernel(k)
+	}
+}
+
+// run advances the whole bed to absolute time t.
+func (f *fabric) run(t sim.Time) {
+	if f.eng != nil {
+		f.netw.Freeze()
+		f.eng.Run(t)
+	} else {
+		f.loops[0].RunUntil(t)
+	}
+}
+
+// mailPosted reports cross-domain mailbox traffic so far.
+func (f *fabric) mailPosted() uint64 {
+	if f.eng == nil {
+		return 0
+	}
+	return f.eng.Stats().Posted
+}
+
+// close releases engine worker threads (a no-op in legacy mode).
+func (f *fabric) close() {
+	if f.eng != nil {
+		f.eng.Close()
+	}
+}
+
 // testbed is one fully wired machine-under-test.
 type testbed struct {
-	loop   *sim.Loop
+	fab    *fabric
 	net    *app.Network
 	k      *kernel.Kernel
 	client *app.HTTPLoad
@@ -143,8 +231,12 @@ func buildBed(spec KernelSpec, bench Bench, cores int, o Options) *testbed {
 // buildBedWith additionally lets the caller mutate the kernel config
 // before boot (RFS experiments, custom costs).
 func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate func(*kernel.Config)) *testbed {
-	loop := sim.NewLoop()
-	netw := app.NewNetwork(loop, 20*sim.Microsecond)
+	names := []string{"server", "client"}
+	if bench == ProxyBench {
+		names = append(names, "backend")
+	}
+	fab := newFabric(o.Shards, names...)
+	netw := fab.netw
 	cfg := kernel.Config{
 		Name:          spec.Label,
 		Cores:         cores,
@@ -164,8 +256,8 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	k := kernel.New(loop, cfg)
-	netw.AttachKernel(k)
+	k := kernel.New(fab.loops[0], cfg)
+	fab.attachKernel(0, k)
 
 	switch bench {
 	case WebBench:
@@ -173,7 +265,7 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 		srv.Start()
 	case ProxyBench:
 		backendAddr := netproto.Addr{IP: netproto.IPv4(10, 3, 0, 1), Port: 80}
-		app.NewBackend(loop, netw, app.BackendConfig{Addr: backendAddr})
+		app.NewBackend(fab.loops[2], fab.wires[2], app.BackendConfig{Addr: backendAddr})
 		px := app.NewProxy(k, app.ProxyConfig{Backends: []netproto.Addr{backendAddr}})
 		px.Start()
 	}
@@ -182,7 +274,7 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 	for _, ip := range k.IPs() {
 		targets = append(targets, netproto.Addr{IP: ip, Port: 80})
 	}
-	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+	cli := app.NewHTTPLoad(fab.loops[1], fab.wires[1], app.HTTPLoadConfig{
 		Targets:     targets,
 		Concurrency: o.ConcurrencyPerCore * cores,
 		Seed:        o.Seed + 99,
@@ -191,7 +283,7 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 		// event stream matches the pre-fault harness exactly.
 		Retransmit: o.Fault != nil,
 	})
-	return &testbed{loop: loop, net: netw, k: k, client: cli}
+	return &testbed{fab: fab, net: netw, k: k, client: cli}
 }
 
 // Measure runs one spec at one core count and reports the window.
@@ -203,8 +295,9 @@ func Measure(spec KernelSpec, bench Bench, cores int, o Options) Measurement {
 
 // measureBed runs the warmup and measurement window on a built bed.
 func measureBed(tb *testbed, o Options) Measurement {
+	defer tb.fab.close()
 	tb.client.Start()
-	tb.loop.RunUntil(o.Warmup)
+	tb.fab.run(o.Warmup)
 
 	startCompleted := tb.client.Completed
 	startBusy := tb.k.Machine().BusySnapshot()
@@ -215,9 +308,9 @@ func measureBed(tb *testbed, o Options) Measurement {
 	tb.client.Latencies.Reset()
 	tb.client.ConnLatencies.Reset()
 
-	tb.loop.RunUntil(o.Warmup + o.Window)
+	tb.fab.run(o.Warmup + o.Window)
 
-	m := Measurement{Window: o.Window}
+	m := Measurement{Window: o.Window, MailPosted: tb.fab.mailPosted()}
 	m.Throughput = float64(tb.client.Completed-startCompleted) / o.Window.Seconds()
 	m.Utilization = cpu.Utilization(startBusy, tb.k.Machine().BusySnapshot(), o.Window)
 	cacheDelta := tb.k.Cache().Stats().Sub(startCache)

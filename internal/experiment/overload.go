@@ -80,14 +80,17 @@ func Overload(o Options) OverloadResult {
 }
 
 func runOverload(label string, cookies bool, cores int, capacity float64, mults []float64, o Options) OverloadRun {
-	loop := sim.NewLoop()
-	netw := app.NewNetwork(loop, 20*sim.Microsecond)
+	// The attacker is its own coupling domain: spoofed SYNs and the
+	// legitimate load converge on the server only through the fabric,
+	// so under the shard engine all three sources run concurrently.
+	fab := newFabric(o.Shards, "server", "client", "flood")
+	defer fab.close()
 	params := tcp.DefaultParams()
 	// A short SYN backlog makes half-open state the scarce resource,
 	// as on a memory-constrained production frontend.
 	params.SynBacklog = 64
 	params.SynCookies = cookies
-	k := kernel.New(loop, kernel.Config{
+	k := kernel.New(fab.loops[0], kernel.Config{
 		Cores: cores,
 		Mode:  kernel.Fastsocket,
 		Feat:  kernel.FullFastsocket(),
@@ -97,14 +100,14 @@ func runOverload(label string, cookies bool, cores int, capacity float64, mults 
 		// under the ramp.
 		RXRingSize: 4096,
 	})
-	netw.AttachKernel(k)
+	fab.attachKernel(0, k)
 	app.NewWebServer(k, app.WebServerConfig{}).Start()
 	var targets []netproto.Addr
 	for _, ip := range k.IPs() {
 		targets = append(targets, netproto.Addr{IP: ip, Port: 80})
 	}
 	legitRate := overloadLegitFrac * capacity
-	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+	cli := app.NewHTTPLoad(fab.loops[1], fab.wires[1], app.HTTPLoadConfig{
 		Targets:     targets,
 		Concurrency: 0, // open loop: arrivals do not wait for departures
 		RTO:         30 * sim.Millisecond,
@@ -113,7 +116,7 @@ func runOverload(label string, cookies bool, cores int, capacity float64, mults 
 		Seed:        o.Seed + 99,
 	})
 	cli.StartOpenLoop(func(sim.Time) float64 { return legitRate })
-	flood := app.NewSYNFlood(loop, netw, app.SYNFloodConfig{
+	flood := app.NewSYNFlood(fab.loops[2], fab.wires[2], app.SYNFloodConfig{
 		Target: targets[0],
 		Rate:   1, // real per-step rate set below; Start is deferred until needed
 		Seed:   o.Seed + 666,
@@ -121,7 +124,7 @@ func runOverload(label string, cookies bool, cores int, capacity float64, mults 
 
 	stepLen := o.Window
 	warmup := o.Warmup
-	loop.RunUntil(warmup)
+	fab.run(warmup)
 
 	run := OverloadRun{Label: label, Cookies: cookies}
 	floodStarted := false
@@ -137,12 +140,12 @@ func runOverload(label string, cookies bool, cores int, capacity float64, mults 
 		}
 		// The first 40% of each step settles the queues at the new
 		// rate; measure the remaining 60%.
-		loop.RunUntil(stepStart + stepLen*2/5)
+		fab.run(stepStart + stepLen*2/5)
 		accepts0 := k.Stats().Accepts
 		completed0 := cli.Completed
 		errs0 := cli.Errors
 		snmp0 := k.SNMP()
-		loop.RunUntil(stepStart + stepLen)
+		fab.run(stepStart + stepLen)
 		window := (stepLen * 3 / 5).Seconds()
 		snmp := k.SNMP().Sub(snmp0)
 		run.Steps = append(run.Steps, OverloadStep{

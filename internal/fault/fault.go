@@ -168,6 +168,34 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
+// Add merges two fault-counter snapshots (per-sender views under the
+// sharded fabric are summed in sorted shard order; plain sums
+// commute, so the merge is deterministic).
+func (s Stats) Add(o Stats) Stats {
+	s.LinkDrops += o.LinkDrops
+	s.LinkDups += o.LinkDups
+	s.LinkReorders += o.LinkReorders
+	s.LinkCorrupts += o.LinkCorrupts
+	s.AllocFails += o.AllocFails
+	return s
+}
+
+// SenderView derives an engine sharing this one's seed and plan but
+// with private occurrence and counter state. The sharded fabric gives
+// each sending domain its own view so LinkAction stays thread-free:
+// decisions are keyed per (flow, direction, seq, occurrence) and all
+// of a flow-direction's transmissions originate from one domain, so
+// every key's occurrence sequence — and therefore every decision — is
+// identical to the single-engine serial run. The only semantic drift
+// is DropFirst, which becomes per-sender under views (no committed
+// plan uses it together with sharding).
+func (e *Engine) SenderView() *Engine {
+	if e == nil {
+		return nil
+	}
+	return &Engine{seed: e.seed, plan: e.plan, seen: map[uint64]uint64{}}
+}
+
 const (
 	saltLink  uint64 = 0x6c696e6b_00000001
 	saltAlloc uint64 = 0x616c6c6f_00000002

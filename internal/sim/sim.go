@@ -126,6 +126,20 @@ type SchedStats struct {
 	FastForwards   uint64 // RunUntil returns that skipped all wheel work
 }
 
+// Add merges two scheduler snapshots (the sharded engine aggregates
+// per-domain counters in index order; plain counter sums commute, so
+// the merge is deterministic regardless of worker count).
+func (s SchedStats) Add(o SchedStats) SchedStats {
+	s.ScheduledHeap += o.ScheduledHeap
+	s.ScheduledWheel += o.ScheduledWheel
+	s.CancelledHeap += o.CancelledHeap
+	s.CancelledWheel += o.CancelledWheel
+	s.Cascades += o.Cascades
+	s.Reaps += o.Reaps
+	s.FastForwards += o.FastForwards
+	return s
+}
+
 // Loop is a discrete-event loop. The zero value is not usable; call
 // NewLoop.
 type Loop struct {

@@ -32,6 +32,22 @@ func (s SNMP) Sub(o SNMP) SNMP {
 	}
 }
 
+// Add returns the counter sums s + o — the merge direction of Sub,
+// used to aggregate per-machine blocks across shard domains. Callers
+// must fold in a deterministic order (domain index order) so the
+// aggregate is reproducible regardless of worker count.
+func (s SNMP) Add(o SNMP) SNMP {
+	return SNMP{
+		RetransSegs:    s.RetransSegs + o.RetransSegs,
+		ListenDrops:    s.ListenDrops + o.ListenDrops,
+		SynCookiesSent: s.SynCookiesSent + o.SynCookiesSent,
+		SynCookiesRecv: s.SynCookiesRecv + o.SynCookiesRecv,
+		RxRingDrops:    s.RxRingDrops + o.RxRingDrops,
+		AllocFails:     s.AllocFails + o.AllocFails,
+		CsumErrors:     s.CsumErrors + o.CsumErrors,
+	}
+}
+
 // Format renders the block in netstat -s style.
 func (s SNMP) Format() string {
 	var b strings.Builder

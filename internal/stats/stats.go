@@ -88,6 +88,30 @@ func (h *Histogram) Add(d sim.Time) {
 	}
 }
 
+// Merge folds o's samples into h. Buckets, count and sum add
+// exactly; min/max take the extremes — so a merge of per-domain
+// histograms yields the same percentiles as one histogram fed every
+// sample, whatever the sample interleaving was. Shard-domain callers
+// must merge in domain index order only for reproducible *rendering*
+// of anything order-sensitive they compute alongside; the merged
+// histogram itself is order-independent.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 

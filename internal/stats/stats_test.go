@@ -161,3 +161,57 @@ func TestBoxQuantileInterpolation(t *testing.T) {
 		t.Errorf("quartiles = %v/%v", b.Q1, b.Q3)
 	}
 }
+
+func TestHistogramMergeMatchesCombinedFeed(t *testing.T) {
+	// A merge of per-domain histograms must be indistinguishable from
+	// one histogram fed every sample (the shard engine's counter-merge
+	// contract).
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		d := sim.Time(i*i) * sim.Microsecond
+		if i%3 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+		all.Add(d)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Mean() != all.Mean() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged summary differs: count %d/%d mean %v/%v min %v/%v max %v/%v",
+			a.Count(), all.Count(), a.Mean(), all.Mean(), a.Min(), all.Min(), a.Max(), all.Max())
+	}
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9} {
+		if a.Percentile(p) != all.Percentile(p) {
+			t.Errorf("p%v: merged %v, combined %v", p, a.Percentile(p), all.Percentile(p))
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5 * sim.Microsecond)
+	h.Merge(nil)
+	h.Merge(NewHistogram())
+	if h.Count() != 1 || h.Min() != 5*sim.Microsecond || h.Max() != 5*sim.Microsecond {
+		t.Errorf("no-op merges changed the histogram: %+v", h)
+	}
+	empty := NewHistogram()
+	empty.Merge(h)
+	if empty.Count() != 1 || empty.Min() != 5*sim.Microsecond {
+		t.Errorf("merge into empty lost the sample: count %d", empty.Count())
+	}
+}
+
+func TestSNMPAddSub(t *testing.T) {
+	a := SNMP{RetransSegs: 3, ListenDrops: 1, SynCookiesSent: 7, CsumErrors: 2}
+	b := SNMP{RetransSegs: 4, RxRingDrops: 5, AllocFails: 6}
+	sum := a.Add(b)
+	want := SNMP{RetransSegs: 7, ListenDrops: 1, SynCookiesSent: 7, RxRingDrops: 5, AllocFails: 6, CsumErrors: 2}
+	if sum != want {
+		t.Errorf("Add = %+v, want %+v", sum, want)
+	}
+	if sum.Sub(b) != a {
+		t.Errorf("Add then Sub is not identity: %+v", sum.Sub(b))
+	}
+}

@@ -63,6 +63,23 @@ func (p Parallel) Run(n int, job func(i int)) {
 	wg.Wait()
 }
 
+// Budget divides host workers between nested parallelism layers:
+// when each sweep job itself runs perJob goroutines (a sharded
+// simulation engine), the outer sweep must shrink so the product
+// stays within the host budget instead of oversubscribing —
+// oversubscription doesn't change any result (both layers are
+// deterministic), it just thrashes the scheduler. Returns the outer
+// worker count, at least 1.
+func Budget(hostWorkers, perJob int) int {
+	if perJob < 1 {
+		perJob = 1
+	}
+	if hostWorkers <= perJob {
+		return 1
+	}
+	return hostWorkers / perJob
+}
+
 // Map runs f(0..n-1) on parallel workers and returns the results in
 // index order — the functional form of Parallel.Run for callers that
 // want a result slice rather than writing into captured state.

@@ -219,3 +219,20 @@ func TestParallelOverloadMatchesSerial(t *testing.T) {
 			serial, parallel)
 	}
 }
+
+func TestBudget(t *testing.T) {
+	cases := []struct{ host, perJob, want int }{
+		{16, 4, 4},  // 4 sweep workers x 4 shard workers fill the host
+		{16, 0, 16}, // no inner parallelism: all workers to the sweep
+		{16, 1, 16},
+		{4, 8, 1}, // inner layer alone saturates the host
+		{8, 3, 2}, // round down, never oversubscribe via the sweep
+		{1, 4, 1}, // always at least one outer worker
+		{0, 0, 1}, // hostWorkers<=perJob floor
+	}
+	for _, c := range cases {
+		if got := sweep.Budget(c.host, c.perJob); got != c.want {
+			t.Errorf("Budget(%d, %d) = %d, want %d", c.host, c.perJob, got, c.want)
+		}
+	}
+}

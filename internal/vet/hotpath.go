@@ -32,7 +32,14 @@ import (
 //	    the unlocked access is acknowledged; every such waiver must be
 //	    justified in DESIGN.md §5.
 //
-// Both markers require a reason; a bare marker is a finding.
+// A third marker gates the parallel engine's injection primitive:
+//
+//	//fsvet:mailbox <reason>  on a function declaration: this function
+//	    is part of the fabric's deterministic delivery path and may
+//	    call shard.Engine.Post; every unmarked caller is a finding
+//	    (the mailbox pass).
+//
+// All markers require a reason; a bare marker is a finding.
 
 type fileLine struct {
 	file string
@@ -45,16 +52,18 @@ type markers struct {
 	hotpath map[fileLine]bool
 	percore map[fileLine]bool
 	shared  map[fileLine]bool
+	mailbox map[fileLine]bool
 }
 
-// collectMarkers scans every loaded file for the three markers.
-// Malformed markers (percore/shared without a reason) are reported as
-// directive findings through v.
+// collectMarkers scans every loaded file for the four markers.
+// Malformed markers (percore/shared/mailbox without a reason) are
+// reported as directive findings through v.
 func (v *vetter) collectMarkers() *markers {
 	mk := &markers{
 		hotpath: map[fileLine]bool{},
 		percore: map[fileLine]bool{},
 		shared:  map[fileLine]bool{},
+		mailbox: map[fileLine]bool{},
 	}
 	p := v.prog
 	for _, ip := range p.Paths {
@@ -74,6 +83,13 @@ func (v *vetter) collectMarkers() *markers {
 							continue
 						}
 						mk.percore[key] = true
+					case strings.HasPrefix(text, "fsvet:mailbox"):
+						if len(strings.Fields(strings.TrimPrefix(text, "fsvet:mailbox"))) == 0 {
+							v.findings = append(v.findings, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
+								Pass: PassDirective, Msg: "fsvet:mailbox needs a reason: //fsvet:mailbox <why this is a fabric delivery path>"})
+							continue
+						}
+						mk.mailbox[key] = true
 					case strings.HasPrefix(text, "fsvet:shared"):
 						if len(strings.Fields(strings.TrimPrefix(text, "fsvet:shared"))) == 0 {
 							v.findings = append(v.findings, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,

@@ -225,6 +225,7 @@ var restrictedPkgs = map[string]bool{
 // into them is covered by the recorded exemption reason.
 var exemptPkgs = map[string]string{
 	"sweep": "host-parallel sweep orchestration; jobs are whole independently-seeded simulations",
+	"shard": "conservative-lookahead parallel engine; domains are whole sim.Loops synchronized at deterministic mailbox barriers",
 }
 
 // ForbiddenImports mirrors internal/analysis.forbiddenImports: the

@@ -255,6 +255,50 @@ func (v *vetter) collectMutations(fd *ast.FuncDecl) []mutation {
 	return muts
 }
 
+// enginePost is the parallel engine's cross-domain injection
+// primitive; the mailbox pass reserves calls to it for marked fabric
+// delivery functions.
+var enginePost = "(*" + ModPath + "/internal/shard.Engine).Post"
+
+// checkMailbox runs the mailbox pass: every call to shard.Engine.Post
+// must come from a function whose declaration carries //fsvet:mailbox
+// <reason>. The shard engine's determinism argument rests on all
+// cross-domain effects riding the barrier mailboxes through the
+// fabric's delivery path — an unmarked caller is a second injection
+// route the argument knows nothing about. Markers on functions that
+// never post are stale and reported too, keeping the audited surface
+// exact.
+func (v *vetter) checkMailbox(cg *callGraph, mk *markers) {
+	for _, fn := range cg.funcs {
+		fd := cg.decls[fn]
+		tp := v.prog.RelPos(fd.Pos())
+		marked := markedAt(mk.mailbox, tp.Filename, tp.Line)
+		posts := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := cg.staticCallee(call)
+			if callee == nil || fullName(callee) != enginePost {
+				return true
+			}
+			posts = true
+			if !marked {
+				v.report(call.Pos(), PassMailbox,
+					"cross-shard injection outside the mailbox API: %s calls shard.Engine.Post but is not marked //fsvet:mailbox <reason>",
+					qualifiedName(fn))
+			}
+			return true
+		})
+		if marked && !posts {
+			v.report(fd.Pos(), PassMailbox,
+				"stale //fsvet:mailbox marker: %s never calls shard.Engine.Post",
+				qualifiedName(fn))
+		}
+	}
+}
+
 // lockSpanSet is the positional lock-coverage approximation for one
 // function: a mutation site counts as locked when some acquisition
 // precedes it and some release follows it in the source. This covers

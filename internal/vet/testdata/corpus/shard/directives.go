@@ -9,3 +9,6 @@ type badPercore struct{ n int }
 
 //fsvet:shared
 var badShared int
+
+//fsvet:mailbox
+func badMailbox() {}

@@ -1,0 +1,34 @@
+// Golden corpus for the mailbox pass: shard.Engine.Post — the
+// parallel engine's only cross-domain injection primitive — may be
+// called only from functions marked //fsvet:mailbox <reason>, the
+// fabric's deterministic delivery path. An unmarked caller is a
+// second injection route the engine's determinism argument knows
+// nothing about; a marked function that never posts is a stale
+// marker.
+package corpus
+
+import (
+	"fastsocket/internal/shard"
+	"fastsocket/internal/sim"
+)
+
+func onArrive(any) {}
+
+// deliverGood is the blessed path: marked, posts.
+//
+//fsvet:mailbox corpus fixture: the fabric's delivery path
+func deliverGood(e *shard.Engine, at sim.Time) {
+	e.Post(0, 1, at, onArrive, nil)
+}
+
+// deliverBad routes a cross-shard effect around the fabric.
+func deliverBad(e *shard.Engine, at sim.Time) {
+	e.Post(0, 1, at, onArrive, nil) // want "cross-shard injection outside the mailbox API: internal/kernel/vetcorpus_shard.deliverBad calls shard.Engine.Post"
+}
+
+// stalePath carries the marker but never posts.
+//
+//fsvet:mailbox corpus fixture: function no longer posts
+func stalePath(e *shard.Engine) int { // want "stale //fsvet:mailbox marker: internal/kernel/vetcorpus_shard.stalePath never calls shard.Engine.Post"
+	return e.Domains()
+}

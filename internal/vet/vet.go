@@ -38,6 +38,12 @@
 //     held, on //fsvet:percore state, or explicitly waived with
 //     //fsvet:shared <reason> — the per-core isolation proof the
 //     future sharded engine depends on.
+//   - mailbox: shard.Engine.Post is the parallel engine's only
+//     cross-domain injection primitive; calling it is reserved to
+//     functions marked //fsvet:mailbox <reason> (the fabric delivery
+//     path), so no code can route a cross-shard effect around the
+//     deterministic barrier mailboxes. A marked function that never
+//     posts is a stale marker, also reported.
 //
 // Findings are suppressible per line with
 //
@@ -70,6 +76,7 @@ const (
 	PassEscape      = "escape"
 	PassAlloc       = "alloc"
 	PassShard       = "shard"
+	PassMailbox     = "mailbox"
 	// PassDirective flags malformed fsvet directives themselves.
 	PassDirective = "fsvet"
 )
@@ -83,6 +90,7 @@ var knownPasses = map[string]bool{
 	PassEscape:      true,
 	PassAlloc:       true,
 	PassShard:       true,
+	PassMailbox:     true,
 }
 
 // fslintRuleCovers maps an //fslint:ignore rule to the fsvet passes it
@@ -149,6 +157,7 @@ func Run(p *Program) *Result {
 	v.checkEscape()
 	v.checkAlloc(cg, hot)
 	v.checkShard(cg, hot, la, mk)
+	v.checkMailbox(cg, mk)
 
 	sort.Slice(v.findings, func(i, j int) bool {
 		a, b := v.findings[i], v.findings[j]
@@ -274,7 +283,7 @@ func (s *suppressor) directive(p *Program, c *ast.Comment) {
 				Pass: PassDirective, Msg: "fsvet:ignore needs a pass and a reason: //fsvet:ignore <pass> <reason>"})
 		case !knownPasses[fields[0]]:
 			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
-				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore names unknown pass %q (known: determinism, reach, units, lockorder, charge, escape, alloc, shard)", fields[0])})
+				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore names unknown pass %q (known: determinism, reach, units, lockorder, charge, escape, alloc, shard, mailbox)", fields[0])})
 		case len(fields) < 2:
 			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
 				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore %s needs a reason", fields[0])})

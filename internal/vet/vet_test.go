@@ -127,6 +127,11 @@ func TestGoldenCorpus(t *testing.T) {
 			line: 10,
 			re:   regexp.MustCompile(`fsvet:shared needs a reason`),
 		},
+		expectation{
+			file: "internal/vet/testdata/corpus/shard/directives.go",
+			line: 13,
+			re:   regexp.MustCompile(`fsvet:mailbox needs a reason`),
+		},
 	)
 
 	inCorpus := func(f Finding) bool {

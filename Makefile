@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint vet allocgate shardgate test bench bench-go figures quick-figures faults examples clean
+.PHONY: all build lint vet allocgate shardgate offloadgate test bench bench-go figures quick-figures faults examples clean
 
 all: build test
 
@@ -45,6 +45,19 @@ allocgate:
 shardgate:
 	go test -race ./internal/shard
 	go test -race -run 'TestShardDigest' ./internal/experiment
+
+# Offload gate: the NIC offload model's invariants. GRO merge boundary
+# and IRQ-coalescing timer unit tests, the TSO fault-granularity
+# equivalence (an armed fault plane draws identical per-MSS decisions
+# whether or not the wire carries super-segments), the offload digest
+# suite under the race detector (legacy == sharded, offloads-off
+# inert), and the fsvet runtime alloc cross-check with every offload
+# enabled against the committed macro ceiling.
+offloadgate:
+	go test -run 'TestGRO|TestCoalesce' ./internal/kernel
+	go test -run 'TestTSO' ./internal/app
+	go test -race -run 'TestOffload|TestShardDigestOffload' ./internal/experiment
+	go run ./cmd/fsvet -root . -alloc-cross-check -offloads
 
 test: lint vet allocgate
 	go test ./...

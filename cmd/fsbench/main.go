@@ -42,6 +42,8 @@ experiments:
   synflood   spoofed SYN flood with and without tcp_syncookies (the
              "Security" production requirement of §1)
   ablation   each Fastsocket component's contribution in isolation
+  offload    NIC offload ablation: TSO / GRO / IRQ coalescing on the
+             bulk-transfer workload (per-byte event cost)
   losssweep  goodput + p99 connection latency vs wire loss rate,
              baseline vs Fastsocket (deterministic fault injection)
   overload   offered load ramped past capacity: accept throughput
@@ -55,15 +57,16 @@ flags:
 
 func main() {
 	var (
-		warmupMS  = flag.Int("warmup", 400, "warmup per measurement (simulated ms)")
-		windowMS  = flag.Int("window", 400, "measurement window (simulated ms)")
-		conc      = flag.Int("concurrency", 500, "client connections in flight per server core")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		coresFlag = flag.String("cores", "", "comma-separated core counts for figure4 (default 1,4,8,12,16,20,24)")
-		quick     = flag.Bool("quick", false, "small windows for a fast smoke run")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "host workers for independent sweep points (1 = serial; results are identical)")
-		shards    = flag.Int("shards", 0, "shard workers inside each simulation (0 = legacy single-loop engine; 1 = serial shard reference; results are identical at any value)")
-		faultSpec = flag.String("faults", "", "fault plan for ad-hoc robustness runs, e.g. loss=0.01,ring=256,allocfail=0.001 (applies to every experiment run)")
+		warmupMS    = flag.Int("warmup", 400, "warmup per measurement (simulated ms)")
+		windowMS    = flag.Int("window", 400, "measurement window (simulated ms)")
+		conc        = flag.Int("concurrency", 500, "client connections in flight per server core")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		coresFlag   = flag.String("cores", "", "comma-separated core counts for figure4 (default 1,4,8,12,16,20,24)")
+		quick       = flag.Bool("quick", false, "small windows for a fast smoke run")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "host workers for independent sweep points (1 = serial; results are identical)")
+		shards      = flag.Int("shards", 0, "shard workers inside each simulation (0 = legacy single-loop engine; 1 = serial shard reference; results are identical at any value)")
+		faultSpec   = flag.String("faults", "", "fault plan for ad-hoc robustness runs, e.g. loss=0.01,ring=256,allocfail=0.001 (applies to every experiment run)")
+		offloadSpec = flag.String("offloads", "", "NIC offloads to enable on the machine under test: comma list of tso,gro,coalesce, or 'all' (applies to every experiment run; default none)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -85,6 +88,14 @@ func main() {
 			os.Exit(2)
 		}
 		o.Fault = &plan
+	}
+	if *offloadSpec != "" {
+		off, err := parseOffloads(*offloadSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+			os.Exit(2)
+		}
+		o.Offloads = off
 	}
 	o.Shards = *shards
 	if *parallel > 1 {
@@ -133,6 +144,9 @@ func main() {
 		"ablation": func() {
 			fmt.Print(experiment.Ablation(o).Format())
 		},
+		"offload": func() {
+			fmt.Print(experiment.OffloadAblation(o).Format())
+		},
 		"losssweep": func() {
 			fmt.Print(experiment.LossSweep(nil, nil, o).Format())
 		},
@@ -143,7 +157,7 @@ func main() {
 			fmt.Print(runSimperf())
 		},
 	}
-	order := []string{"figure3", "figure4a", "figure4b", "table1", "figure5", "longlived", "synflood", "ablation", "losssweep", "overload"}
+	order := []string{"figure3", "figure4a", "figure4b", "table1", "figure5", "longlived", "synflood", "ablation", "offload", "losssweep", "overload"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
@@ -170,6 +184,28 @@ func main() {
 		fn()
 		fmt.Printf("(%s completed in %v wall time)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// parseOffloads reads the -offloads spec.
+func parseOffloads(s string) (experiment.Offloads, error) {
+	var f experiment.Offloads
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return experiment.AllOffloads(), nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "tso":
+			f.TSO = true
+		case "gro":
+			f.GRO = true
+		case "coalesce", "coal":
+			f.Coalesce = true
+		case "":
+		default:
+			return f, fmt.Errorf("unknown offload %q (want tso, gro, coalesce or all)", part)
+		}
+	}
+	return f, nil
 }
 
 func parseCores(s string) []int {

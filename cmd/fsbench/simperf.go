@@ -75,6 +75,31 @@ type simperfShardRun struct {
 	Speedup        float64 `json:"speedup_vs_serial"`
 }
 
+// simperfOffloadRun is one bulk-transfer measurement of the NIC
+// offload model (TSO/GRO/IRQ coalescing): the same fixed workload —
+// chunked 16KB requests, 64KB responses, Fastsocket kernel — run with
+// a given offload set. The headline column is mss_segs_per_wall_sec:
+// how many MSS-sized wire segments' worth of payload the simulator
+// moves per wall-clock second. Offloads shrink the per-byte event
+// count (one netrx per super-segment instead of per MSS segment), so
+// the "all" row must beat the "off" row by >= 2x — runSimperf aborts
+// if the win or the zero-extra-allocations bound ever regresses.
+type simperfOffloadRun struct {
+	Offloads          string  `json:"offloads"`
+	WallMillis        float64 `json:"wall_millis"`
+	Events            uint64  `json:"events"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	AllocsPerEvent    float64 `json:"allocs_per_event"`
+	AllocsPerMSSSeg   float64 `json:"allocs_per_mss_seg"`
+	SimConns          uint64  `json:"sim_conns"`
+	SimRespMB         float64 `json:"sim_resp_mb"`
+	MSSSegsPerWallSec float64 `json:"mss_segs_per_wall_sec"`
+	TSOSuperSegs      uint64  `json:"tso_super_segs"`
+	GROMergedSegs     uint64  `json:"gro_merged_segs"`
+	CoalescedWakeups  uint64  `json:"coalesced_wakeups"`
+	SpeedupVsOff      float64 `json:"speedup_vs_off"`
+}
+
 type simperfReport struct {
 	Note string `json:"note"`
 	// HostCPUs qualifies every wall-side number, the shard section's
@@ -83,10 +108,11 @@ type simperfReport struct {
 	// single-CPU host every speedup reads ~1.0 minus barrier
 	// overhead); the bit-identical simulated outcome is what the
 	// section enforces on any host.
-	HostCPUs int                `json:"host_cpus"`
-	Macro    []simperfMacroRun  `json:"macro"`
-	Shard    []simperfShardRun  `json:"shard"`
-	Engine   []simperfEngineRun `json:"engine"`
+	HostCPUs int                 `json:"host_cpus"`
+	Macro    []simperfMacroRun   `json:"macro"`
+	Shard    []simperfShardRun   `json:"shard"`
+	Offload  []simperfOffloadRun `json:"offload"`
+	Engine   []simperfEngineRun  `json:"engine"`
 	// Totals aggregate the macro section (the headline numbers).
 	TotalEvents         uint64  `json:"total_events"`
 	TotalEventsPerSec   float64 `json:"total_events_per_sec"`
@@ -259,6 +285,86 @@ func simperfShard(workers int) simperfShardRun {
 	return r
 }
 
+// The offload section's fixed bulk workload: each connection POSTs a
+// 16KB request chunked at the MSS and fetches a 64KB response, so the
+// byte volume per event dominates and the TSO/GRO/coalescing win is
+// what the section measures.
+const (
+	offloadCores   = 8
+	offloadConc    = 60 // per core; each connection moves ~80KB
+	offloadReqLen  = 16 * 1024
+	offloadRespLen = 64 * 1024
+	offloadMSS     = 1460
+)
+
+// simperfOffload runs the bulk workload with the given offload set and
+// measures the engine while it runs.
+func simperfOffload(set experiment.Offloads) simperfOffloadRun {
+	loop := sim.NewLoop()
+	netw := app.NewNetwork(loop, 20*sim.Microsecond)
+	k := kernel.New(loop, kernel.Config{
+		Name:  "fastsocket-bulk",
+		Cores: offloadCores,
+		Mode:  kernel.Fastsocket,
+		Feat:  kernel.FullFastsocket(),
+		Seed:  1,
+		// A generous ring: the client has no retransmit machinery in
+		// this section, so burst tail-drops must not occur (matching
+		// the experiment harness's committed beds).
+		RXRingSize: 8192,
+		TSO:        set.TSO,
+		GRO:        set.GRO,
+		Coalesce:   set.Coalesce,
+	})
+	netw.AttachKernel(k)
+	srv := app.NewWebServer(k, app.WebServerConfig{ResponseLen: offloadRespLen})
+	srv.Start()
+	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+		Targets:     []netproto.Addr{{IP: k.IPs()[0], Port: 80}},
+		Concurrency: offloadConc * offloadCores,
+		Seed:        100,
+		RequestLen:  offloadReqLen,
+		ResponseLen: offloadRespLen,
+		ChunkBytes:  offloadMSS,
+	})
+	cli.Start()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	loop.RunUntil(simperfWarmup + simperfWindow)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	events := loop.Fired()
+	allocs := m1.Mallocs - m0.Mallocs
+	snmp := k.SNMP()
+	r := simperfOffloadRun{
+		Offloads:         set.String(),
+		WallMillis:       roundTo(float64(wall.Nanoseconds())/1e6, 1),
+		Events:           events,
+		SimConns:         cli.Completed,
+		SimRespMB:        roundTo(float64(cli.Bytes)/1e6, 1),
+		TSOSuperSegs:     snmp.TSOSuperSegs,
+		GROMergedSegs:    snmp.GROMergedSegs,
+		CoalescedWakeups: snmp.CoalescedWakeups,
+	}
+	if events > 0 {
+		r.EventsPerSec = roundTo(float64(events)/wall.Seconds(), 0)
+		r.AllocsPerEvent = roundTo(float64(allocs)/float64(events), 4)
+	}
+	if wall > 0 {
+		// Response payload moved, in MSS-sized wire-segment
+		// equivalents, per wall second: the per-byte cost headline.
+		r.MSSSegsPerWallSec = roundTo(float64(cli.Bytes)/offloadMSS/wall.Seconds(), 0)
+	}
+	if cli.Bytes > 0 {
+		r.AllocsPerMSSSeg = roundTo(float64(allocs)/(float64(cli.Bytes)/offloadMSS), 4)
+	}
+	return r
+}
+
 // simperfEngine measures the bare loop: n schedule+fire pairs and n
 // schedule+cancel pairs at retransmit-timer-like horizons, the event
 // pattern that dominates real runs.
@@ -351,7 +457,7 @@ func simperfSparsePoll(name string, n int) simperfEngineRun {
 // runSimperf executes both sections and writes BENCH_simperf.json.
 func runSimperf() string {
 	rep := simperfReport{
-		Note: fmt.Sprintf("fixed Figure-4a-style run: 3 stock kernels, %d cores, %v simulated, seed 1; shard section: %d paired server/client machines on the conservative-lookahead engine at 1/2/4/8 workers (simulated outcome bit-identical across worker counts, enforced); engine churn 1e6 ops; regenerate with `make bench` (wall-side numbers are machine-dependent; sim_conns are not)",
+		Note: fmt.Sprintf("fixed Figure-4a-style run: 3 stock kernels, %d cores, %v simulated, seed 1; shard section: %d paired server/client machines on the conservative-lookahead engine at 1/2/4/8 workers (simulated outcome bit-identical across worker counts, enforced); offload section: bulk transfers (16KB req / 64KB resp) off vs TSO+GRO vs all, >=2x mss_segs_per_wall_sec at zero extra allocs/event (enforced); engine churn 1e6 ops; regenerate with `make bench` (wall-side numbers are machine-dependent; sim_conns are not)",
 			simperfCores, simperfWarmup+simperfWindow, shardServers),
 		HostCPUs: runtime.NumCPU(),
 	}
@@ -382,6 +488,42 @@ func runSimperf() string {
 			r.Speedup = roundTo(ref.WallMillis/r.WallMillis, 2)
 		}
 		rep.Shard = append(rep.Shard, r)
+	}
+
+	offloadOff := simperfOffload(experiment.Offloads{})
+	rep.Offload = append(rep.Offload, offloadOff)
+	for _, set := range []experiment.Offloads{
+		{TSO: true, GRO: true},
+		experiment.AllOffloads(),
+	} {
+		r := simperfOffload(set)
+		if offloadOff.MSSSegsPerWallSec > 0 {
+			r.SpeedupVsOff = roundTo(r.MSSSegsPerWallSec/offloadOff.MSSSegsPerWallSec, 2)
+		}
+		// The point of the model: aggregation must cut the per-byte
+		// event cost by at least 2x, at zero additional allocations
+		// per event. Abort the bench if either ever regresses.
+		if r.SpeedupVsOff < 2.0 {
+			fmt.Fprintf(os.Stderr, "fsbench: offload speedup regressed at %q: %.2fx < 2.0x\n  got %+v\n  off %+v\n",
+				r.Offloads, r.SpeedupVsOff, r, offloadOff)
+			os.Exit(1)
+		}
+		// Zero additional allocations per unit of work: aggregation
+		// shrinks the event count ~5x, so allocs/event would inflate
+		// mechanically even with an allocation-free merge path — the
+		// stable bound is per MSS segment moved, plus the macro
+		// allocgate ceiling on the per-event figure.
+		if r.AllocsPerMSSSeg > offloadOff.AllocsPerMSSSeg+0.1 {
+			fmt.Fprintf(os.Stderr, "fsbench: offload path allocates: %.4f allocs/mss-seg vs %.4f with offloads off\n",
+				r.AllocsPerMSSSeg, offloadOff.AllocsPerMSSSeg)
+			os.Exit(1)
+		}
+		if r.AllocsPerEvent > 1.0 {
+			fmt.Fprintf(os.Stderr, "fsbench: offload run exceeds the macro alloc ceiling: %.4f allocs/event > 1.0\n",
+				r.AllocsPerEvent)
+			os.Exit(1)
+		}
+		rep.Offload = append(rep.Offload, r)
 	}
 
 	const ops = 1_000_000

@@ -32,6 +32,7 @@ func main() {
 		pcapPath  = flag.String("pcap", "", "also dump the packet trace to this file (tcpdump/wireshark readable)")
 		faultSpec = flag.String("faults", "", "fault plan, e.g. loss=0.01,ring=256,allocfail=0.001 (exercises the SNMP counters)")
 		lockgraph = flag.Bool("lockgraph", false, "run with lockdep enabled and print the observed lock-order graph as JSON")
+		offloads  = flag.Bool("offloads", false, "enable NIC offloads (TSO+GRO+IRQ coalescing) so the Dev counters are live")
 	)
 	flag.Parse()
 
@@ -51,6 +52,12 @@ func main() {
 	}
 
 	cfg := kernel.Config{Cores: *cores, Mode: mode, Feat: feat}
+	if *offloads {
+		cfg.TSO, cfg.GRO, cfg.Coalesce = true, true, true
+		// Generous ring for the bulk workload below: this client has
+		// no retransmit machinery, so burst tail-drops must not occur.
+		cfg.RXRingSize = 8192
+	}
 	if *faultSpec != "" {
 		plan, err := fault.ParsePlan(*faultSpec)
 		if err != nil {
@@ -71,13 +78,24 @@ func main() {
 		ring = trace.NewRing(65536, loop.Now, nil)
 		k.SetTracer(ring)
 	}
-	srv := app.NewWebServer(k, app.WebServerConfig{})
-	srv.Start()
-	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+	// With offloads on, serve bulk responses so TSO supers and GRO
+	// merge trains actually form; the default short-lived workload
+	// never sends more than one MSS at a time.
+	var wcfg app.WebServerConfig
+	lcfg := app.HTTPLoadConfig{
 		Targets:     []netproto.Addr{{IP: k.IPs()[0], Port: 80}},
 		Concurrency: 8 * *cores,
 		Retransmit:  cfg.Fault != nil,
-	})
+	}
+	if *offloads {
+		wcfg.ResponseLen = 64 * 1024
+		lcfg.RequestLen = 16 * 1024
+		lcfg.ResponseLen = 64 * 1024
+		lcfg.ChunkBytes = 1460
+	}
+	srv := app.NewWebServer(k, wcfg)
+	srv.Start()
+	cli := app.NewHTTPLoad(loop, netw, lcfg)
 	cli.Start()
 	loop.RunUntil(sim.Time(*runMS) * sim.Millisecond)
 

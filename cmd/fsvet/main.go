@@ -46,6 +46,8 @@ func main() {
 			"measure runtime allocations (macro web-bench run and bare-loop op) and fail if either exceeds the budget's runtime ceilings")
 		writeBudget = flag.Bool("write-allocbudget", false,
 			"regenerate "+vet.AllocBudgetFile+" from the current hot-path scan (preserving ceilings and notes) and exit")
+		offloads = flag.Bool("offloads", false,
+			"with -alloc-cross-check: also measure the bulk workload with TSO/GRO/IRQ-coalescing enabled against the same macro ceiling")
 		benchOut = flag.String("bench-out", "", "write analysis timing JSON to this file")
 	)
 	flag.Parse()
@@ -144,7 +146,7 @@ func main() {
 		}
 	}
 
-	var macroAllocs, engineAllocs float64
+	var macroAllocs, engineAllocs, offloadAllocs float64
 	if *allocCheck {
 		budget, err := vet.LoadAllocBudget(*root)
 		if err != nil {
@@ -169,6 +171,18 @@ func main() {
 				engineAllocs, budget.RuntimeCeilingEngineAllocsPerOp)
 			fail = true
 		}
+		if *offloads {
+			offloadAllocs = measureOffloadAllocs()
+			fmt.Fprintf(os.Stderr,
+				"fsvet: alloc cross-check (offloads on): bulk %.4f allocs/event (ceiling %.2f)\n",
+				offloadAllocs, budget.RuntimeCeilingAllocsPerEvent)
+			if offloadAllocs > budget.RuntimeCeilingAllocsPerEvent {
+				fmt.Fprintf(os.Stderr,
+					"fsvet: RUNTIME ALLOC REGRESSION: bulk offload run allocated %.4f/event, budget ceiling is %.2f — the TSO/GRO/coalescing path allocates off-budget\n",
+					offloadAllocs, budget.RuntimeCeilingAllocsPerEvent)
+				fail = true
+			}
+		}
 	}
 
 	if *benchOut != "" {
@@ -188,6 +202,9 @@ func main() {
 		if *allocCheck {
 			bench["macro_allocs_per_event"] = macroAllocs
 			bench["engine_allocs_per_op"] = engineAllocs
+			if *offloads {
+				bench["offload_allocs_per_event"] = offloadAllocs
+			}
 		}
 		b, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
@@ -280,6 +297,59 @@ func measureMacroAllocs() float64 {
 		return 0
 	}
 	return float64(totalAllocs) / float64(totalEvents)
+}
+
+// measureOffloadAllocs replays the bulk-transfer workload — chunked
+// 16KB requests, 64KB responses — on the Fastsocket kernel with every
+// NIC offload enabled, and returns heap allocations per loop event.
+// The aggregation paths (TSO super-segments, GRO frag stealing, the
+// coalescing timer) are budgeted hot paths; this is their runtime
+// ground truth, held to the same macro ceiling.
+func measureOffloadAllocs() float64 {
+	const (
+		cores  = 4
+		warmup = 10 * sim.Millisecond
+		window = 30 * sim.Millisecond
+		conc   = 40 // per core; each connection moves ~80KB
+	)
+	spec := experiment.StockKernels()[2]
+	loop := sim.NewLoop()
+	netw := app.NewNetwork(loop, 20*sim.Microsecond)
+	k := kernel.New(loop, kernel.Config{
+		Name:  spec.Label,
+		Cores: cores,
+		Mode:  spec.Mode,
+		Feat:  spec.Feat,
+		Seed:  1,
+		// Generous ring, as in the experiment harness: this client has
+		// no retransmit machinery, so burst tail-drops must not occur.
+		RXRingSize: 8192,
+		TSO:        true,
+		GRO:        true,
+		Coalesce:   true,
+	})
+	netw.AttachKernel(k)
+	srv := app.NewWebServer(k, app.WebServerConfig{ResponseLen: 64 * 1024})
+	srv.Start()
+	cli := app.NewHTTPLoad(loop, netw, app.HTTPLoadConfig{
+		Targets:     []netproto.Addr{{IP: k.IPs()[0], Port: 80}},
+		Concurrency: conc * cores,
+		Seed:        100,
+		RequestLen:  16 * 1024,
+		ResponseLen: 64 * 1024,
+		ChunkBytes:  1460,
+	})
+	cli.Start()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	loop.RunUntil(warmup + window)
+	runtime.ReadMemStats(&m1)
+	if loop.Fired() == 0 {
+		return 0
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(loop.Fired())
 }
 
 // measureEngineAllocs returns testing.AllocsPerRun over one

@@ -29,6 +29,7 @@ type HTTPLoad struct {
 	rto         sim.Time
 	retransmit  bool
 	maxRetry    int
+	chunkBytes  int
 
 	conns      map[netproto.FourTuple]*cliConn
 	nextIP     int
@@ -115,6 +116,12 @@ type HTTPLoadConfig struct {
 	Retransmit bool
 	// MaxRetry bounds data/FIN retransmissions (default 5).
 	MaxRetry int
+	// ChunkBytes, when non-zero, segments outgoing requests at this
+	// size (MSS-style): the bulk-payload workload uses it so a large
+	// request arrives at the server as a train of wire segments —
+	// GRO-mergeable — instead of one synthetic giant frame. 0 keeps
+	// the original single-packet request.
+	ChunkBytes int
 }
 
 // NewHTTPLoad builds the generator and attaches it to the fabric.
@@ -159,6 +166,7 @@ func NewHTTPLoad(loop *sim.Loop, net Wire, cfg HTTPLoadConfig) *HTTPLoad {
 		rto:           cfg.RTO,
 		retransmit:    cfg.Retransmit,
 		maxRetry:      cfg.MaxRetry,
+		chunkBytes:    cfg.ChunkBytes,
 		conns:         map[netproto.FourTuple]*cliConn{},
 		portCursor:    make([]netproto.Port, len(cfg.ClientIPs)),
 		Latencies:     stats.NewHistogram(),
@@ -309,17 +317,34 @@ func (h *HTTPLoad) finish(c *cliConn) {
 }
 
 func (h *HTTPLoad) sendRequest(c *cliConn) {
-	req := h.reqBytes
 	c.reqSeq = c.sndNxt
-	p := h.pool.Get()
-	p.Src, p.Dst = c.local, c.remote
-	p.Flags = netproto.PSH | netproto.ACK
-	p.Seq, p.Ack = c.sndNxt, c.rcvNxt
-	p.Payload = req
-	h.net.Send(p)
-	c.sndNxt += uint32(len(req))
+	h.sendData(c, h.reqBytes, c.sndNxt)
+	c.sndNxt += uint32(len(h.reqBytes))
 	c.reqStart = h.loop.Now()
 	h.armRetry(c)
+}
+
+// sendData transmits data starting at seq, split at ChunkBytes when
+// configured. Every chunk carries the same PSH|ACK flags and the
+// current Ack, so a GRO-enabled server re-merges the train into one
+// delivered super-segment.
+func (h *HTTPLoad) sendData(c *cliConn, data []byte, seq uint32) {
+	chunk := h.chunkBytes
+	if chunk <= 0 {
+		chunk = len(data)
+	}
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		p := h.pool.Get()
+		p.Src, p.Dst = c.local, c.remote
+		p.Flags = netproto.PSH | netproto.ACK
+		p.Seq, p.Ack = seq+uint32(off), c.rcvNxt
+		p.Payload = data[off:end]
+		h.net.Send(p)
+	}
 }
 
 func (h *HTTPLoad) sendFIN(c *cliConn) {
@@ -359,12 +384,7 @@ func (h *HTTPLoad) retryFire(c *cliConn) {
 		// lost and resend it from its recorded sequence (the server
 		// re-ACKs duplicates). reqStart is left untouched — the
 		// latency histogram must include the recovery time.
-		p := h.pool.Get()
-		p.Src, p.Dst = c.local, c.remote
-		p.Flags = netproto.PSH | netproto.ACK
-		p.Seq, p.Ack = c.reqSeq, c.rcvNxt
-		p.Payload = h.reqBytes
-		h.net.Send(p)
+		h.sendData(c, h.reqBytes, c.reqSeq)
 	case cliFinSent:
 		if !c.finAcked {
 			p := h.pool.Get()
@@ -424,16 +444,23 @@ func (h *HTTPLoad) deliver(p *netproto.Packet) {
 		}
 	case cliEstablished:
 		advanced := false
-		if len(p.Payload) > 0 && p.Seq == c.rcvNxt {
-			c.got += len(p.Payload)
-			h.Bytes += uint64(len(p.Payload))
-			c.rcvNxt += uint32(len(p.Payload))
-			advanced = true
-		} else if len(p.Payload) > 0 && int32(p.Seq-c.rcvNxt) < 0 {
-			// Duplicate (already-sequenced) data, e.g. a server
-			// retransmission that crossed our ACK: re-ACK so the
-			// server's timer stands down.
-			h.ack(c)
+		if plen := len(p.Payload); plen > 0 {
+			// off is how much of this segment is already sequenced; a
+			// retransmitted TSO super-segment whose head chunks landed
+			// can be partially duplicate (0 < off < plen) — count only
+			// the new tail. Without offloads off is 0 or >= plen, the
+			// original whole-segment behaviour.
+			if off := int(int32(c.rcvNxt - p.Seq)); off >= 0 && off < plen {
+				c.got += plen - off
+				h.Bytes += uint64(plen - off)
+				c.rcvNxt += uint32(plen - off)
+				advanced = true
+			} else if off >= plen {
+				// Fully duplicate data, e.g. a server retransmission
+				// that crossed our ACK: re-ACK so the server's timer
+				// stands down.
+				h.ack(c)
+			}
 		}
 		if p.Flags.Has(netproto.FIN) && p.Seq+uint32(len(p.Payload)) == c.rcvNxt {
 			// Server finished the response and closed (short-lived

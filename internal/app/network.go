@@ -193,6 +193,13 @@ func (n *Network) Send(p *netproto.Packet) {
 	}
 	delay := n.delay
 	if n.faults != nil && n.faults.Plan().LinkEnabled() {
+		if p.GSOSize > 0 && len(p.Payload) > p.GSOSize {
+			// TSO super-segment under an armed link-fault plane: the
+			// NIC wire-splits it so fault decisions keep MSS (wire)
+			// granularity — identical keys and outcomes to offloads-off.
+			sendGSO(n.faults, p, delay, &n.stats.LostRandom, n.deliver)
+			return
+		}
 		switch act, extra := n.faults.LinkAction(p); act {
 		case fault.Drop:
 			n.stats.LostRandom++
@@ -209,6 +216,76 @@ func (n *Network) Send(p *netproto.Packet) {
 		}
 	}
 	n.deliver(p, delay)
+}
+
+// sendGSO puts a TSO super-segment on a faulty wire at wire-segment
+// granularity: the fault engine draws one decision per MSS-sized
+// chunk, in send order, with the exact keys (tuple, per-chunk Seq,
+// flags) and occurrence sequence the offloads-off transmission of the
+// same bytes would have used — so drop/dup/reorder/corrupt outcomes
+// are segment-for-segment identical with offloads on or off.
+// Contiguous runs of unaffected chunks re-aggregate into
+// sub-super-segments (the common whole-super case delivers the
+// original packet, one arrival, no copies); chunks hit by a fault are
+// delivered or dropped individually, exactly like the scalar path.
+func sendGSO(e *fault.Engine, p *netproto.Packet, delay sim.Time, lost *uint64, deliver func(*netproto.Packet, sim.Time)) {
+	mss := p.GSOSize
+	payload := p.Payload
+	// flush emits chunks [start, end) as one wire segment (again a
+	// super-segment when the run spans several chunks).
+	flush := func(start, end int) {
+		if start >= end {
+			return
+		}
+		c := *p
+		c.Seq = p.Seq + uint32(start)
+		c.Payload = payload[start:end]
+		c.GSOSize = 0
+		if end-start > mss {
+			c.GSOSize = mss
+		}
+		deliver(&c, delay)
+	}
+	// probe carries only the fields LinkAction keys on; it never
+	// escapes, so the per-chunk draw allocates nothing.
+	probe := netproto.Packet{Src: p.Src, Dst: p.Dst, Flags: p.Flags, Ack: p.Ack}
+	faulted := false
+	runStart := 0
+	for off := 0; off < len(payload); off += mss {
+		end := off + mss
+		if end > len(payload) {
+			end = len(payload)
+		}
+		probe.Seq = p.Seq + uint32(off)
+		act, extra := e.LinkAction(&probe)
+		if act == fault.None {
+			continue
+		}
+		faulted = true
+		flush(runStart, off)
+		runStart = end
+		c := *p
+		c.Seq = probe.Seq
+		c.Payload = payload[off:end]
+		c.GSOSize = 0
+		switch act {
+		case fault.Drop:
+			*lost++
+		case fault.Dup:
+			d := c
+			deliver(&d, delay)
+			deliver(&c, delay)
+		case fault.Reorder:
+			deliver(&c, delay+extra)
+		case fault.Corrupt:
+			deliver(fault.CorruptCopy(&c), delay)
+		}
+	}
+	if !faulted {
+		deliver(p, delay)
+		return
+	}
+	flush(runStart, len(payload))
 }
 
 func (n *Network) deliver(p *netproto.Packet, delay sim.Time) {
@@ -294,6 +371,12 @@ func (p *Port) Send(pkt *netproto.Packet) {
 	}
 	delay := n.delay
 	if p.faults != nil && p.faults.Plan().LinkEnabled() {
+		if pkt.GSOSize > 0 && len(pkt.Payload) > pkt.GSOSize {
+			// Wire-granularity fault decisions for TSO super-segments,
+			// identical to the legacy fabric (see sendGSO).
+			sendGSO(p.faults, pkt, delay, &p.stats.LostRandom, p.deliver)
+			return
+		}
 		switch act, extra := p.faults.LinkAction(pkt); act {
 		case fault.Drop:
 			p.stats.LostRandom++

@@ -6,6 +6,8 @@
 package experiment
 
 import (
+	"strings"
+
 	"fastsocket/internal/app"
 	"fastsocket/internal/cpu"
 	"fastsocket/internal/fault"
@@ -36,6 +38,51 @@ func (b Bench) String() string {
 	return "haproxy"
 }
 
+// Offloads selects which NIC offload features the machine under test
+// enables (kernel.Config.TSO/GRO/Coalesce). The zero value — all off —
+// is the configuration every committed experiment output was produced
+// on, so adding the knob changes nothing retroactively.
+type Offloads struct {
+	TSO      bool
+	GRO      bool
+	Coalesce bool
+}
+
+// Any reports whether any offload is enabled.
+func (f Offloads) Any() bool { return f.TSO || f.GRO || f.Coalesce }
+
+// AllOffloads enables every modeled offload.
+func AllOffloads() Offloads { return Offloads{TSO: true, GRO: true, Coalesce: true} }
+
+// String renders the enabled set ("off", "tso", "tso+gro+coal", ...).
+func (f Offloads) String() string {
+	var parts []string
+	if f.TSO {
+		parts = append(parts, "tso")
+	}
+	if f.GRO {
+		parts = append(parts, "gro")
+	}
+	if f.Coalesce {
+		parts = append(parts, "coal")
+	}
+	if len(parts) == 0 {
+		return "off"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Bulk-transfer workload shape: the client POSTs a multi-segment
+// request (chunked at MSS so it arrives as a GRO-mergeable wire train)
+// and the server answers with a response large enough for TSO to
+// matter. Sizes follow the paper's testbed MTU (1460-byte MSS) and a
+// 64KB super-segment budget.
+const (
+	bulkRequestLen  = 16 * 1024
+	bulkResponseLen = 64 * 1024
+	bulkChunkBytes  = 1460
+)
+
 // Options tunes the measurement harness. Zero values get defaults
 // sized for CLI accuracy; tests shrink the windows.
 type Options struct {
@@ -62,6 +109,13 @@ type Options struct {
 	// suite compares against, and any Shards>=1 value yields
 	// bit-identical results by construction.
 	Shards int
+	// Offloads enables NIC offload modeling on the machine under test.
+	// Zero value = all off (the committed-output configuration).
+	Offloads Offloads
+	// Bulk switches the load generator and server into the
+	// bulk-transfer shape (large chunked request, 64KB response) used
+	// by the offload experiments. Off by default.
+	Bulk bool
 }
 
 func (o Options) withDefaults() Options {
@@ -252,6 +306,9 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 		// may still override it via Fault.RingSize.
 		RXRingSize: 8192,
 		Fault:      o.Fault,
+		TSO:        o.Offloads.TSO,
+		GRO:        o.Offloads.GRO,
+		Coalesce:   o.Offloads.Coalesce,
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -261,7 +318,11 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 
 	switch bench {
 	case WebBench:
-		srv := app.NewWebServer(k, app.WebServerConfig{})
+		wcfg := app.WebServerConfig{}
+		if o.Bulk {
+			wcfg.ResponseLen = bulkResponseLen
+		}
+		srv := app.NewWebServer(k, wcfg)
 		srv.Start()
 	case ProxyBench:
 		backendAddr := netproto.Addr{IP: netproto.IPv4(10, 3, 0, 1), Port: 80}
@@ -274,7 +335,7 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 	for _, ip := range k.IPs() {
 		targets = append(targets, netproto.Addr{IP: ip, Port: 80})
 	}
-	cli := app.NewHTTPLoad(fab.loops[1], fab.wires[1], app.HTTPLoadConfig{
+	lcfg := app.HTTPLoadConfig{
 		Targets:     targets,
 		Concurrency: o.ConcurrencyPerCore * cores,
 		Seed:        o.Seed + 99,
@@ -282,7 +343,13 @@ func buildBedWith(spec KernelSpec, bench Bench, cores int, o Options, mutate fun
 		// loss; without one the retransmit machinery stays off so the
 		// event stream matches the pre-fault harness exactly.
 		Retransmit: o.Fault != nil,
-	})
+	}
+	if o.Bulk {
+		lcfg.RequestLen = bulkRequestLen
+		lcfg.ResponseLen = bulkResponseLen
+		lcfg.ChunkBytes = bulkChunkBytes
+	}
+	cli := app.NewHTTPLoad(fab.loops[1], fab.wires[1], lcfg)
 	return &testbed{fab: fab, net: netw, k: k, client: cli}
 }
 

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsocket/internal/kernel"
+	"fastsocket/internal/sim"
+)
+
+// OffloadRow is one offload feature set measured on the bulk-transfer
+// bed (Fastsocket kernel, chunked 16KB requests, 64KB responses).
+type OffloadRow struct {
+	Feat      Offloads
+	CPS       float64 // completed bulk fetches per second
+	TSOSupers uint64  // TSO super-segments handed to the NIC
+	GROMerged uint64  // RX segments absorbed by GRO
+	Coalesced uint64  // ring arrivals absorbed by the IRQ timer
+	P99       sim.Time
+}
+
+// OffloadResult is the offload ablation table.
+type OffloadResult struct {
+	Cores int
+	Rows  []OffloadRow
+}
+
+// offloadSets is the ablation axis: each feature alone, then the
+// TSO+GRO pair (the per-byte path), then everything.
+func offloadSets() []Offloads {
+	return []Offloads{
+		{},
+		{TSO: true},
+		{GRO: true},
+		{Coalesce: true},
+		{TSO: true, GRO: true},
+		AllOffloads(),
+	}
+}
+
+// OffloadAblation measures each offload feature set on the
+// bulk-transfer workload. Every point is an independent simulation
+// dispatched through o.Runner; the off row is byte-identical to a run
+// predating the offload knobs because the zero Offloads value changes
+// no kernel configuration.
+func OffloadAblation(o Options) OffloadResult {
+	o = o.withDefaults()
+	o.Bulk = true
+	// Bulk connections move ~40x the bytes of the short-lived request
+	// workload; scale the closed-loop population down so one CLI run
+	// stays in the same wall-time class as the other experiments.
+	o.ConcurrencyPerCore = max(o.ConcurrencyPerCore/8, 1)
+	const cores = 8
+	sets := offloadSets()
+	ms := make([]Measurement, len(sets))
+	o.Runner.Run(len(ms), func(i int) {
+		oo := o
+		oo.Offloads = sets[i]
+		spec := KernelSpec{Label: "fastsocket", Mode: kernel.Fastsocket, Feat: kernel.FullFastsocket()}
+		ms[i] = Measure(spec, WebBench, cores, oo)
+	})
+	res := OffloadResult{Cores: cores}
+	for i, set := range sets {
+		m := ms[i]
+		res.Rows = append(res.Rows, OffloadRow{
+			Feat:      set,
+			CPS:       m.Throughput,
+			TSOSupers: m.SNMP.TSOSuperSegs,
+			GROMerged: m.SNMP.GROMergedSegs,
+			Coalesced: m.SNMP.CoalescedWakeups,
+			P99:       m.P99Latency,
+		})
+	}
+	return res
+}
+
+// Format renders the offload ablation table.
+func (r OffloadResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Offload ablation — bulk transfers (16KB req / 64KB resp) at %d cores\n", r.Cores)
+	fmt.Fprintf(&b, "%-14s %10s %12s %12s %12s %10s\n",
+		"offloads", "fetch/s", "tso supers", "gro merged", "coalesced", "p99 ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %9.1fk %12d %12d %12d %10.2f\n",
+			row.Feat, row.CPS/1000, row.TSOSupers, row.GROMerged, row.Coalesced,
+			float64(row.P99)/float64(sim.Millisecond))
+	}
+	return b.String()
+}

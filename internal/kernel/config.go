@@ -116,6 +116,37 @@ type Config struct {
 	// cost; batching only mitigates interrupts, i.e. loop events.
 	NAPIBudget int
 
+	// --- NIC offloads (all default off; committed experiment outputs
+	// are byte-identical with the zero values) ---
+
+	// TSO enables TCP segmentation offload: tcp.Send hands the NIC one
+	// super-segment of up to TSOMaxBytes (rounded down to an MSS
+	// multiple) and the NIC wire-splits it lazily, so bulk TX costs
+	// O(bytes/TSOMaxBytes) scheduler events instead of O(bytes/MSS).
+	TSO bool
+	// TSOMaxBytes caps a TSO super-segment's payload (default 64KB,
+	// the classic IP-length limit).
+	TSOMaxBytes int
+	// GRO enables generic receive offload: napiPoll merges in-order
+	// same-flow data segments waiting in the RX ring into one
+	// delivered super-segment (merge terminates on a sequence gap,
+	// flag change, checksum-corrupt segment, or GROMaxSegs).
+	GRO bool
+	// GROMaxSegs caps how many ring segments one GRO merge absorbs
+	// (default 44 ≈ 64KB/1460, matching the TSO cap).
+	GROMaxSegs int
+	// Coalesce enables the per-queue adaptive IRQ-coalescing analogue:
+	// instead of waking NAPI on every ring arrival, the first arrival
+	// arms a CoalesceUsecs timer (netdev_budget_usecs-style) and
+	// subsequent arrivals ride it; the timer fires early once the ring
+	// holds CoalesceFrames segments (rx-usecs/rx-frames, adaptive-rx).
+	Coalesce bool
+	// CoalesceUsecs is the wakeup-batching window (default 20µs).
+	CoalesceUsecs sim.Time
+	// CoalesceFrames fires the pending wakeup early when the ring
+	// backlog reaches this depth (default 32).
+	CoalesceFrames int
+
 	Costs *Costs
 	TCP   *tcp.Params
 	Seed  uint64
@@ -164,6 +195,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NAPIBudget == 0 {
 		c.NAPIBudget = 64
+	}
+	// Offload knobs default unconditionally; they are inert unless the
+	// corresponding enable bit is set.
+	if c.TSOMaxBytes == 0 {
+		c.TSOMaxBytes = 65536
+	}
+	if c.GROMaxSegs == 0 {
+		c.GROMaxSegs = 44
+	}
+	if c.CoalesceUsecs == 0 {
+		c.CoalesceUsecs = 20 * sim.Microsecond
+	}
+	if c.CoalesceFrames == 0 {
+		c.CoalesceFrames = 32
 	}
 	if c.Feat.RFD {
 		c.RFS = false // RFD provides complete locality; RFS is moot

@@ -42,6 +42,9 @@ type Stats struct {
 	RetransSegs           uint64 // TCP segments resent by the RTO timer
 	CsumErrors            uint64 // corrupt frames discarded after checksum
 	AllocFails            uint64 // inode/dentry/TCB allocations failed under memory pressure
+	TSOSuperSegs          uint64 // TSO super-segments handed to the NIC (each worth PacketsOut wire segments)
+	GROMergedSegs         uint64 // RX ring segments absorbed into a GRO super-segment
+	CoalescedWakeups      uint64 // ring arrivals that rode an armed coalescing timer instead of raising NAPI
 }
 
 // sockExt is the kernel-side extension of a tcp.Sock (stored in
@@ -133,6 +136,14 @@ type Kernel struct {
 	//fsvet:shared written cross-core when software steering raises the remote core's poll (the IPI of softnet); a benign flag race at worst double-schedules
 	napiActive []bool
 
+	// IRQ-coalescing state: per queue, whether a deferred-wakeup timer
+	// is armed and its handle (cancelled on adaptive early fire).
+	//
+	//fsvet:percore indexed by queue: queue q's coalescing window is armed and fired only by q's ring arrivals and its own timer
+	coalArmed []bool
+	//fsvet:percore rides with coalArmed: the armed timer's cancel handle
+	coalTimer []sim.Event
+
 	//fsvet:shared machine-wide ephemeral-port bitmap (inet_bind_hash); per-core port ranges are ROADMAP work, today one softirq runs at a time
 	usedPorts map[netproto.Addr]bool
 	//fsvet:shared rides with usedPorts: the global ephemeral-port allocation cursor
@@ -158,6 +169,9 @@ type Kernel struct {
 	// wireFn hands a transmitted packet to SendToWire (via DeferArg,
 	// so the TX path schedules without a per-packet closure).
 	wireFn func(any)
+	// coalFn is the shared coalescing-timer handler (queue id boxed as
+	// the arg; small ints box allocation-free).
+	coalFn func(any)
 	// hlFn/hlTask replace the per-packet listener-probe closure RFD
 	// steering would otherwise allocate; hlTask is only valid for the
 	// duration of one netrx call.
@@ -253,6 +267,8 @@ func New(loop *sim.Loop, cfg Config) *Kernel {
 	}
 	k.backlog = make([]nic.Ring, cfg.Cores)
 	k.napiActive = make([]bool, cfg.Cores)
+	k.coalArmed = make([]bool, cfg.Cores)
+	k.coalTimer = make([]sim.Event, cfg.Cores)
 	k.pool = &netproto.PacketPool{}
 	k.socks = &tcp.SockPool{}
 	// Clone the TCP params so the pools stay private to this kernel
@@ -260,6 +276,11 @@ func New(loop *sim.Loop, cfg Config) *Kernel {
 	tcpp := *k.cfg.TCP
 	tcpp.Pool = k.pool
 	tcpp.Socks = k.socks
+	if cfg.TSO {
+		// An exact MSS multiple, so the NIC's lazy wire-split
+		// reproduces the offloads-off segment sequence bit-for-bit.
+		tcpp.TSOMaxBytes = (cfg.TSOMaxBytes / tcpp.MSS) * tcpp.MSS
+	}
 	k.cfg.TCP = &tcpp
 	k.napiFns = make([]cpu.Work, cfg.Cores)
 	for i := range k.napiFns {
@@ -267,6 +288,7 @@ func New(loop *sim.Loop, cfg Config) *Kernel {
 		k.napiFns[q] = func(t *cpu.Task) { k.napiPoll(t, q) }
 	}
 	k.wireFn = func(v any) { k.SendToWire(v.(*netproto.Packet)) }
+	k.coalFn = func(v any) { k.coalFire(v.(int)) }
 	k.hlFn = func(a netproto.Addr) bool { return k.tables.HasListener(k.hlTask, a) }
 	return k
 }
@@ -318,6 +340,10 @@ func (k *Kernel) SNMP() stats.SNMP {
 		RxRingDrops:    k.nic.Stats().RXRingDrops,
 		AllocFails:     k.stats.AllocFails,
 		CsumErrors:     k.stats.CsumErrors,
+
+		TSOSuperSegs:     k.stats.TSOSuperSegs,
+		GROMergedSegs:    k.stats.GROMergedSegs,
+		CoalescedWakeups: k.stats.CoalescedWakeups,
 	}
 	for _, lsk := range k.allListeners {
 		s.SynCookiesSent += lsk.CookiesSent
@@ -384,7 +410,54 @@ func (k *Kernel) Deliver(p *netproto.Packet) {
 		// be full if the kernel is behind on it).
 		return
 	}
-	k.scheduleNAPI(q)
+	if !k.cfg.Coalesce {
+		k.scheduleNAPI(q)
+		return
+	}
+	k.coalesceRX(q)
+}
+
+// coalesceRX is the adaptive IRQ-mitigation decision for one ring
+// arrival: instead of raising NAPI immediately, the first arrival of a
+// quiet period arms a CoalesceUsecs timer and later arrivals ride it
+// (CoalescedWakeups); once the ring backlog reaches CoalesceFrames the
+// pending window fires early (the adaptive-rx behaviour of ethtool -C
+// rx-usecs/rx-frames). Software-steered backlog pushes bypass this
+// path — they model IPIs, not NIC interrupts.
+//
+//fsvet:hotpath runs once per ring arrival when coalescing is enabled
+func (k *Kernel) coalesceRX(q int) {
+	if k.napiActive[q] {
+		// A poll is already pending or running; it will drain us.
+		return
+	}
+	if k.nic.RXBacklog(q) >= k.cfg.CoalesceFrames {
+		// The ring is filling faster than the timer window: fire now.
+		if k.coalArmed[q] {
+			k.coalArmed[q] = false
+			k.coalTimer[q].Cancel()
+		}
+		k.scheduleNAPI(q)
+		return
+	}
+	if k.coalArmed[q] {
+		k.stats.CoalescedWakeups++
+		return
+	}
+	k.coalArmed[q] = true
+	k.coalTimer[q] = k.loop.AfterArg(k.cfg.CoalesceUsecs, k.coalFn, q)
+}
+
+// coalFire is the coalescing window expiring: wake the queue's NAPI
+// poll if there is still work and none pending.
+func (k *Kernel) coalFire(q int) {
+	if !k.coalArmed[q] {
+		return
+	}
+	k.coalArmed[q] = false
+	if !k.napiActive[q] && (k.nic.RXBacklog(q) > 0 || k.backlog[q].Len() > 0) {
+		k.scheduleNAPI(q)
+	}
 }
 
 // scheduleNAPI queues the NET_RX poll on a core unless one is already
@@ -416,12 +489,58 @@ func (k *Kernel) napiPoll(t *cpu.Task, q int) {
 		if !ok {
 			break
 		}
+		if k.cfg.GRO {
+			k.groMerge(q, p)
+		}
 		k.netrx(t, p, false)
 	}
 	if k.backlog[q].Len() > 0 || k.nic.RXBacklog(q) > 0 {
 		k.machine.Core(q).SubmitSoftIRQ(k.napiFns[q])
 	} else {
 		k.napiActive[q] = false
+	}
+}
+
+// groMerge coalesces the in-order same-flow data segments queued
+// behind head in queue q's RX ring into head, GRO-style: the donors'
+// payload slices are stolen onto head.Frags (zero-copy, zero-alloc in
+// steady state — the Frags backing array survives pool recycling) and
+// the donor descriptors return to the pool immediately. The merge
+// terminates on a sequence gap, any flag or peer difference, a
+// checksum-corrupt segment, an empty payload, or the GROMaxSegs
+// budget. SYN/FIN/RST segments and pure ACKs are never merge heads.
+// The merged super-segment then costs one netrx, one tcp input and
+// one ACK instead of one per wire segment.
+//
+//fsvet:hotpath runs inside every NAPI poll when GRO is enabled
+func (k *Kernel) groMerge(q int, head *netproto.Packet) {
+	if head.Corrupt || len(head.Payload) == 0 ||
+		head.Flags.Has(netproto.SYN) || head.Flags.Has(netproto.FIN) || head.Flags.Has(netproto.RST) {
+		return
+	}
+	merged := 1
+	end := head.Seq + uint32(head.PayloadLen())
+	for merged < k.cfg.GROMaxSegs {
+		next, ok := k.nic.PeekRX(q)
+		if !ok || next.Corrupt || next.Flags != head.Flags ||
+			next.Src != head.Src || next.Dst != head.Dst ||
+			next.Seq != end || next.Ack != head.Ack ||
+			len(next.Payload) == 0 {
+			return
+		}
+		k.nic.PollRX(q) // consume the peeked segment
+		if head.Frags == nil {
+			// Size the frag list for a full merge up front: one
+			// allocation per descriptor lifetime (the backing array
+			// survives pool recycling) instead of log2(GROMaxSegs)
+			// doubling steps.
+			head.Frags = make([][]byte, 0, k.cfg.GROMaxSegs-1)
+		}
+		head.Frags = append(head.Frags, next.Payload)
+		end += uint32(len(next.Payload))
+		k.stats.GROMergedSegs++
+		k.pool.Put(next)
+		merged++
 	}
 }
 
@@ -441,7 +560,7 @@ func (k *Kernel) inputCost(p *netproto.Packet) sim.Time {
 	switch {
 	case p.Flags.Has(netproto.SYN):
 		return c.InputSYN
-	case len(p.Payload) > 0:
+	case p.PayloadLen() > 0:
 		return c.InputData
 	case p.Flags.Has(netproto.FIN):
 		return c.InputFIN
@@ -460,7 +579,9 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 		// core; the target core only dequeues it from its backlog.
 		t.Charge(c.RxSteered)
 	} else {
-		t.Charge(c.RxBase + c.RxPerByte*sim.Time(len(p.Payload)))
+		// One RxBase per delivered frame — for a GRO super-segment
+		// that is the win — but every byte still pays RxPerByte.
+		t.Charge(c.RxBase + c.RxPerByte*sim.Time(p.PayloadLen()))
 	}
 
 	if p.Corrupt {
@@ -572,9 +693,17 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 
 func (k *Kernel) rawTransmit(t *cpu.Task, p *netproto.Packet) {
 	c := k.cfg.Costs
+	// A TSO super-segment pays TxBase once (the descriptor handoff —
+	// that is the offload's win) while every byte still pays
+	// TxPerByte; PacketsOut counts the wire segments the NIC emits.
 	t.Charge(c.TxBase + c.TxPerByte*sim.Time(len(p.Payload)))
 	k.nic.ObserveTX(p, t.CoreID())
-	k.stats.PacketsOut++
+	if p.GSOSize > 0 && len(p.Payload) > p.GSOSize {
+		k.stats.TSOSuperSegs++
+		k.stats.PacketsOut += uint64((len(p.Payload) + p.GSOSize - 1) / p.GSOSize)
+	} else {
+		k.stats.PacketsOut++
+	}
 	if k.tracer != nil {
 		k.tracer.Trace(1, p, t.CoreID())
 	}

@@ -1,0 +1,220 @@
+package kernel
+
+import (
+	"testing"
+
+	"fastsocket/internal/netproto"
+	"fastsocket/internal/sim"
+)
+
+// bootOffload boots a single-core Fastsocket kernel with the caller's
+// offload knobs and outbound traffic dropped.
+func bootOffload(t *testing.T, mutate func(*Config)) (*sim.Loop, *Kernel) {
+	t.Helper()
+	loop := sim.NewLoop()
+	cfg := Config{Cores: 1, Mode: Fastsocket, Feat: FullFastsocket()}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	k := New(loop, cfg)
+	k.SendToWire = func(p *netproto.Packet) {}
+	return loop, k
+}
+
+// dataSeg builds one wire data segment of a fixed synthetic flow.
+func dataSeg(k *Kernel, seq uint32, n int, flags netproto.Flags) *netproto.Packet {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = 'a'
+	}
+	return &netproto.Packet{
+		Src:     netproto.Addr{IP: netproto.IPv4(10, 2, 0, 1), Port: 4000},
+		Dst:     netproto.Addr{IP: k.IPs()[0], Port: 80},
+		Flags:   flags,
+		Seq:     seq,
+		Ack:     77,
+		Payload: payload,
+	}
+}
+
+// mergeTrain enqueues segs on queue 0, pops the head and runs the GRO
+// merge on it, returning the head.
+func mergeTrain(k *Kernel, segs ...*netproto.Packet) *netproto.Packet {
+	for _, p := range segs {
+		k.nic.EnqueueRX(0, p)
+	}
+	head, ok := k.nic.PollRX(0)
+	if !ok {
+		panic("empty ring")
+	}
+	k.groMerge(0, head)
+	return head
+}
+
+// TestGROMergeTrain: an in-order same-flow train collapses into one
+// super-segment carrying every donor payload as a fragment.
+func TestGROMergeTrain(t *testing.T) {
+	_, k := bootOffload(t, func(c *Config) { c.GRO = true })
+	head := mergeTrain(k,
+		dataSeg(k, 1000, 100, netproto.ACK),
+		dataSeg(k, 1100, 100, netproto.ACK),
+		dataSeg(k, 1200, 100, netproto.ACK),
+		dataSeg(k, 1300, 50, netproto.ACK),
+	)
+	if got := head.PayloadLen(); got != 350 {
+		t.Errorf("merged payload = %d, want 350", got)
+	}
+	if len(head.Frags) != 3 {
+		t.Errorf("frags = %d, want 3", len(head.Frags))
+	}
+	if k.stats.GROMergedSegs != 3 {
+		t.Errorf("GROMergedSegs = %d, want 3", k.stats.GROMergedSegs)
+	}
+	if k.nic.RXBacklog(0) != 0 {
+		t.Errorf("ring backlog = %d, want 0", k.nic.RXBacklog(0))
+	}
+}
+
+// TestGROMergeTerminators: each boundary condition stops the merge at
+// the offending segment, which stays queued (or is never consumed).
+func TestGROMergeTerminators(t *testing.T) {
+	corrupt := func(p *netproto.Packet) *netproto.Packet { p.Corrupt = true; return p }
+	otherPeer := func(p *netproto.Packet) *netproto.Packet { p.Src.Port = 4001; return p }
+	otherAck := func(p *netproto.Packet) *netproto.Packet { p.Ack++; return p }
+	cases := []struct {
+		name string
+		next func(k *Kernel) *netproto.Packet
+	}{
+		{"seq-gap", func(k *Kernel) *netproto.Packet { return dataSeg(k, 1300, 100, netproto.ACK) }},
+		{"flag-change", func(k *Kernel) *netproto.Packet { return dataSeg(k, 1100, 100, netproto.PSH|netproto.ACK) }},
+		{"corrupt", func(k *Kernel) *netproto.Packet { return corrupt(dataSeg(k, 1100, 100, netproto.ACK)) }},
+		{"peer-change", func(k *Kernel) *netproto.Packet { return otherPeer(dataSeg(k, 1100, 100, netproto.ACK)) }},
+		{"ack-change", func(k *Kernel) *netproto.Packet { return otherAck(dataSeg(k, 1100, 100, netproto.ACK)) }},
+		{"pure-ack", func(k *Kernel) *netproto.Packet { return dataSeg(k, 1100, 0, netproto.ACK) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, k := bootOffload(t, func(c *Config) { c.GRO = true })
+			head := mergeTrain(k, dataSeg(k, 1000, 100, netproto.ACK), tc.next(k))
+			if got := head.PayloadLen(); got != 100 {
+				t.Errorf("merged payload = %d, want 100 (no merge)", got)
+			}
+			if k.stats.GROMergedSegs != 0 {
+				t.Errorf("GROMergedSegs = %d, want 0", k.stats.GROMergedSegs)
+			}
+			if k.nic.RXBacklog(0) != 1 {
+				t.Errorf("terminator segment not left on the ring (backlog %d)", k.nic.RXBacklog(0))
+			}
+		})
+	}
+}
+
+// TestGROMergeHeadGuards: corrupt or control-flag heads never start a
+// merge, even with a mergeable successor queued.
+func TestGROMergeHeadGuards(t *testing.T) {
+	cases := []struct {
+		name string
+		head func(k *Kernel) *netproto.Packet
+	}{
+		{"syn", func(k *Kernel) *netproto.Packet { return dataSeg(k, 1000, 100, netproto.SYN|netproto.ACK) }},
+		{"fin", func(k *Kernel) *netproto.Packet { return dataSeg(k, 1000, 100, netproto.FIN|netproto.ACK) }},
+		{"rst", func(k *Kernel) *netproto.Packet { return dataSeg(k, 1000, 100, netproto.RST) }},
+		{"corrupt", func(k *Kernel) *netproto.Packet { p := dataSeg(k, 1000, 100, netproto.ACK); p.Corrupt = true; return p }},
+		{"empty", func(k *Kernel) *netproto.Packet { return dataSeg(k, 1000, 0, netproto.ACK) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, k := bootOffload(t, func(c *Config) { c.GRO = true })
+			head := tc.head(k)
+			next := dataSeg(k, head.Seq+uint32(len(head.Payload)), 100, head.Flags)
+			got := mergeTrain(k, head, next)
+			if len(got.Frags) != 0 || k.stats.GROMergedSegs != 0 {
+				t.Errorf("%s head merged (%d frags)", tc.name, len(got.Frags))
+			}
+		})
+	}
+}
+
+// TestGROMergeBudget: GROMaxSegs bounds the super-segment (head
+// included), leaving the rest of the train for the next poll round.
+func TestGROMergeBudget(t *testing.T) {
+	_, k := bootOffload(t, func(c *Config) { c.GRO = true; c.GROMaxSegs = 2 })
+	head := mergeTrain(k,
+		dataSeg(k, 1000, 100, netproto.ACK),
+		dataSeg(k, 1100, 100, netproto.ACK),
+		dataSeg(k, 1200, 100, netproto.ACK),
+	)
+	if head.PayloadLen() != 200 || k.stats.GROMergedSegs != 1 {
+		t.Errorf("budget 2: payload %d merged %d, want 200/1", head.PayloadLen(), k.stats.GROMergedSegs)
+	}
+	if k.nic.RXBacklog(0) != 1 {
+		t.Errorf("ring backlog = %d, want 1", k.nic.RXBacklog(0))
+	}
+}
+
+// TestCoalesceTimerBatchesWakeups: below the frame threshold, ring
+// arrivals ride one armed timer and NAPI wakes only when it fires.
+func TestCoalesceTimerBatchesWakeups(t *testing.T) {
+	loop, k := bootOffload(t, func(c *Config) {
+		c.Coalesce = true
+		c.CoalesceUsecs = 20 * sim.Microsecond
+		c.CoalesceFrames = 8
+	})
+	for i := 0; i < 3; i++ {
+		k.Deliver(dataSeg(k, 1000+uint32(100*i), 100, netproto.ACK))
+	}
+	if k.stats.CoalescedWakeups != 2 {
+		t.Errorf("CoalescedWakeups = %d, want 2", k.stats.CoalescedWakeups)
+	}
+	loop.RunUntil(10 * sim.Microsecond)
+	if k.stats.NAPIPolls != 0 {
+		t.Errorf("NAPI fired %d times before the coalescing window expired", k.stats.NAPIPolls)
+	}
+	loop.RunUntil(100 * sim.Microsecond)
+	if k.stats.NAPIPolls == 0 {
+		t.Error("coalescing timer never woke the NAPI poll")
+	}
+	if k.nic.RXBacklog(0) != 0 {
+		t.Errorf("ring backlog = %d after poll, want 0", k.nic.RXBacklog(0))
+	}
+}
+
+// TestCoalesceFramesFireEarly: once the ring backlog reaches
+// CoalesceFrames the pending window fires immediately (and the timer
+// is cancelled — no second poll when it would have expired).
+func TestCoalesceFramesFireEarly(t *testing.T) {
+	loop, k := bootOffload(t, func(c *Config) {
+		c.Coalesce = true
+		c.CoalesceUsecs = 20 * sim.Microsecond
+		c.CoalesceFrames = 4
+	})
+	for i := 0; i < 4; i++ {
+		k.Deliver(dataSeg(k, 1000+uint32(100*i), 100, netproto.ACK))
+	}
+	loop.RunUntil(5 * sim.Microsecond)
+	if k.stats.NAPIPolls == 0 {
+		t.Fatal("frame threshold did not fire the poll early")
+	}
+	if k.nic.RXBacklog(0) != 0 {
+		t.Errorf("ring backlog = %d after early fire, want 0", k.nic.RXBacklog(0))
+	}
+	polls := k.stats.NAPIPolls
+	loop.RunUntil(100 * sim.Microsecond)
+	if k.stats.NAPIPolls != polls {
+		t.Errorf("stale coalescing timer woke NAPI again (%d -> %d polls)", polls, k.stats.NAPIPolls)
+	}
+}
+
+// TestCoalesceOffIsImmediate pins the default: without the knob every
+// first arrival on an idle queue raises NAPI directly.
+func TestCoalesceOffIsImmediate(t *testing.T) {
+	loop, k := bootOffload(t, nil)
+	k.Deliver(dataSeg(k, 1000, 100, netproto.ACK))
+	loop.RunUntil(5 * sim.Microsecond)
+	if k.stats.NAPIPolls == 0 {
+		t.Error("no NAPI poll for an uncoalesced arrival")
+	}
+	if k.stats.CoalescedWakeups != 0 {
+		t.Error("CoalescedWakeups counted with coalescing off")
+	}
+}

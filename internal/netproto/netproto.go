@@ -116,6 +116,17 @@ type Packet struct {
 	Flags    Flags
 	Seq, Ack uint32
 	Payload  []byte
+	// Frags holds additional payload slices merged onto this packet by
+	// GRO: the receive path treats the logical payload as Payload
+	// followed by every Frags entry, in order (the simulated analogue
+	// of skb frag lists). Donor packets' payload slices are stolen, not
+	// copied — safe because payload bytes are immutable in flight and
+	// receivers copy them out.
+	Frags [][]byte
+	// GSOSize, when non-zero, marks a TSO super-segment: the payload
+	// carries multiple wire segments of this size (the MSS), split
+	// lazily by the NIC at transmit (skb_shinfo(skb)->gso_size).
+	GSOSize int
 	// Corrupt marks a frame damaged in flight (fault injection): the
 	// TCP checksum fails at the receiver and the segment is discarded
 	// after the RX processing cost has been paid.
@@ -123,6 +134,16 @@ type Packet struct {
 	// pooled marks a packet currently parked in a PacketPool free list;
 	// it guards against double-free (a second Put is a no-op).
 	pooled bool
+}
+
+// PayloadLen returns the logical payload length: the direct Payload
+// plus any GRO-merged fragments.
+func (p *Packet) PayloadLen() int {
+	n := len(p.Payload)
+	for _, f := range p.Frags {
+		n += len(f)
+	}
+	return n
 }
 
 // PacketPool is a free list of Packet structs — the simulated
@@ -170,12 +191,20 @@ func (pp *PacketPool) Put(p *Packet) {
 		return
 	}
 	pp.Puts++
-	*p = Packet{pooled: true}
+	// Retain the Frags backing array (capacity) across recycles so the
+	// GRO merge path stays allocation-free in steady state; nil the
+	// entries first so parked packets don't pin payload bytes.
+	frags := p.Frags
+	for i := range frags {
+		frags[i] = nil
+	}
+	*p = Packet{pooled: true, Frags: frags[:0]}
 	pp.free = append(pp.free, p)
 }
 
-// Len returns the total wire length in bytes.
-func (p *Packet) Len() int { return HeaderBytes + len(p.Payload) }
+// Len returns the total wire length in bytes (one header plus the
+// logical payload; a GRO-merged super-segment counts its fragments).
+func (p *Packet) Len() int { return HeaderBytes + p.PayloadLen() }
 
 // Tuple returns the connection tuple from the receiver's perspective.
 func (p *Packet) Tuple() FourTuple {

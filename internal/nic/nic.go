@@ -123,6 +123,14 @@ func (r *Ring) Pop() (*netproto.Packet, bool) {
 	return p, true
 }
 
+// Peek returns the oldest packet without removing it.
+func (r *Ring) Peek() (*netproto.Packet, bool) {
+	if r.head >= len(r.buf) {
+		return nil, false
+	}
+	return r.buf[r.head], true
+}
+
 // Len returns the number of queued packets.
 func (r *Ring) Len() int { return len(r.buf) - r.head }
 
@@ -267,6 +275,10 @@ func (n *NIC) EnqueueRX(q int, p *netproto.Packet) bool {
 
 // PollRX dequeues the oldest packet of queue q's RX ring.
 func (n *NIC) PollRX(q int) (*netproto.Packet, bool) { return n.rings[q].Pop() }
+
+// PeekRX returns queue q's oldest waiting packet without dequeuing it
+// (the kernel's GRO merge looks ahead in the ring).
+func (n *NIC) PeekRX(q int) (*netproto.Packet, bool) { return n.rings[q].Peek() }
 
 // RXBacklog returns the number of packets waiting in queue q's ring.
 func (n *NIC) RXBacklog(q int) int { return n.rings[q].Len() }

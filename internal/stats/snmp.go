@@ -17,6 +17,10 @@ type SNMP struct {
 	RxRingDrops    uint64 // frames tail-dropped on a full NIC RX ring
 	AllocFails     uint64 // inode/dentry/TCB allocations failed (memory pressure)
 	CsumErrors     uint64 // corrupt frames discarded after checksum verify
+
+	TSOSuperSegs     uint64 // TSO super-segments handed to the NIC
+	GROMergedSegs    uint64 // RX segments absorbed into GRO super-segments
+	CoalescedWakeups uint64 // ring arrivals absorbed by an armed IRQ-coalescing timer
 }
 
 // Sub returns the counter deltas s - o.
@@ -29,6 +33,10 @@ func (s SNMP) Sub(o SNMP) SNMP {
 		RxRingDrops:    s.RxRingDrops - o.RxRingDrops,
 		AllocFails:     s.AllocFails - o.AllocFails,
 		CsumErrors:     s.CsumErrors - o.CsumErrors,
+
+		TSOSuperSegs:     s.TSOSuperSegs - o.TSOSuperSegs,
+		GROMergedSegs:    s.GROMergedSegs - o.GROMergedSegs,
+		CoalescedWakeups: s.CoalescedWakeups - o.CoalescedWakeups,
 	}
 }
 
@@ -45,6 +53,10 @@ func (s SNMP) Add(o SNMP) SNMP {
 		RxRingDrops:    s.RxRingDrops + o.RxRingDrops,
 		AllocFails:     s.AllocFails + o.AllocFails,
 		CsumErrors:     s.CsumErrors + o.CsumErrors,
+
+		TSOSuperSegs:     s.TSOSuperSegs + o.TSOSuperSegs,
+		GROMergedSegs:    s.GROMergedSegs + o.GROMergedSegs,
+		CoalescedWakeups: s.CoalescedWakeups + o.CoalescedWakeups,
 	}
 }
 
@@ -59,6 +71,9 @@ func (s SNMP) Format() string {
 	b.WriteString("Dev:\n")
 	fmt.Fprintf(&b, "    %d frames dropped on full RX ring (RxRingDrops)\n", s.RxRingDrops)
 	fmt.Fprintf(&b, "    %d checksum errors (CsumErrors)\n", s.CsumErrors)
+	fmt.Fprintf(&b, "    %d TSO super-segments transmitted (TSOSuperSegs)\n", s.TSOSuperSegs)
+	fmt.Fprintf(&b, "    %d segments merged by GRO (GROMergedSegs)\n", s.GROMergedSegs)
+	fmt.Fprintf(&b, "    %d IRQ wakeups coalesced (CoalescedWakeups)\n", s.CoalescedWakeups)
 	b.WriteString("Mem:\n")
 	fmt.Fprintf(&b, "    %d socket allocation failures (AllocFails)\n", s.AllocFails)
 	return b.String()

@@ -69,6 +69,14 @@ type Params struct {
 	// CookieSecret keys the cookie ISN.
 	CookieSecret uint32
 
+	// TSOMaxBytes, when non-zero, enables TCP segmentation offload:
+	// Send hands the NIC super-segments of up to this many payload
+	// bytes (GSOSize = MSS) instead of segmenting at MSS itself. The
+	// kernel installs an exact MSS multiple here when Config.TSO is
+	// on, so the NIC's lazy wire-split reproduces the offloads-off
+	// segment sequence bit-for-bit. 0 disables (the default).
+	TSOMaxBytes int
+
 	// Pool recycles packet headers for every segment the stack builds
 	// (the skb pool). nil degrades to plain allocation; the kernel
 	// installs its per-simulation pool here.
@@ -435,9 +443,29 @@ func inputSynRcvd(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 	env.Accepted(t, sk)
 	// The handshake ACK may carry data (TCP fast open-ish clients);
 	// process any payload in the same segment.
-	if len(p.Payload) > 0 || p.Flags.Has(netproto.FIN) {
+	if p.PayloadLen() > 0 || p.Flags.Has(netproto.FIN) {
 		inputStream(env, t, sk, p)
 	}
+}
+
+// appendPayload appends p's logical payload (Payload then any
+// GRO-merged Frags, in order) beyond the first off bytes onto buf.
+func appendPayload(buf []byte, p *netproto.Packet, off int) []byte {
+	if off < len(p.Payload) {
+		buf = append(buf, p.Payload[off:]...)
+		off = 0
+	} else {
+		off -= len(p.Payload)
+	}
+	for _, f := range p.Frags {
+		if off >= len(f) {
+			off -= len(f)
+			continue
+		}
+		buf = append(buf, f[off:]...)
+		off = 0
+	}
+	return buf
 }
 
 // inputStream handles data/FIN segments in the synchronized states.
@@ -450,23 +478,31 @@ func inputStream(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 	}
 
 	advanced := false
-	if len(p.Payload) > 0 {
-		if p.Seq == sk.RcvNxt {
-			sk.RcvBuf = append(sk.RcvBuf, p.Payload...)
-			sk.RcvNxt += uint32(len(p.Payload))
-			advanced = true
-		} else if int32(p.Seq-sk.RcvNxt) < 0 {
-			// Duplicate: re-ACK below, do not deliver.
-			advanced = true
-		} else {
+	if plen := p.PayloadLen(); plen > 0 {
+		off := int(int32(sk.RcvNxt - p.Seq))
+		switch {
+		case off < 0:
 			// Out-of-order future segment: the simulated wire
 			// preserves per-flow ordering, so this only happens
 			// after a drop. Discard and let the peer retransmit.
 			sk.DroppedSegs++
 			return
+		case off < plen:
+			// In-order (off == 0), or a partially duplicate
+			// retransmission — a TSO super-segment resent after only
+			// its head chunks arrived — whose tail is new: deliver
+			// everything beyond RcvNxt. Without offloads off is
+			// always 0 here (delivery advances in whole sender
+			// segments), so this is the classic in-order append.
+			sk.RcvBuf = appendPayload(sk.RcvBuf, p, off)
+			sk.RcvNxt += uint32(plen - off)
+			advanced = true
+		default:
+			// Fully duplicate: re-ACK below, do not deliver.
+			advanced = true
 		}
 	}
-	if p.Flags.Has(netproto.FIN) && p.Seq+uint32(len(p.Payload)) == sk.RcvNxt {
+	if p.Flags.Has(netproto.FIN) && p.Seq+uint32(p.PayloadLen()) == sk.RcvNxt {
 		sk.RcvNxt++
 		sk.RcvFIN = true
 		advanced = true
@@ -554,13 +590,24 @@ func Send(env Env, t *cpu.Task, sk *Sock, data []byte) int {
 	if sk.State != Established && sk.State != CloseWait {
 		return 0
 	}
+	// With TSO the NIC accepts super-segments up to TSOMaxBytes (an
+	// exact MSS multiple); the wire-split happens lazily below the
+	// stack, so the TX path costs O(bytes/TSOMaxBytes) events instead
+	// of O(bytes/MSS).
+	max := sk.Params.MSS
+	if sk.Params.TSOMaxBytes > max {
+		max = sk.Params.TSOMaxBytes
+	}
 	sent := 0
 	for len(data) > 0 {
 		n := len(data)
-		if n > sk.Params.MSS {
-			n = sk.Params.MSS
+		if n > max {
+			n = max
 		}
 		p := sk.mkseg(netproto.PSH, data[:n], true)
+		if n > sk.Params.MSS {
+			p.GSOSize = sk.Params.MSS
+		}
 		sk.track(p)
 		env.Transmit(t, sk, p)
 		data = data[n:]
@@ -633,6 +680,10 @@ func RetransmitTimeout(env Env, t *cpu.Task, sk *Sock) {
 	p.Flags = seg.Flags
 	p.Seq = seg.Seq
 	p.Payload = seg.Payload
+	// A tracked super-segment retransmits as a super-segment.
+	if len(seg.Payload) > sk.Params.MSS {
+		p.GSOSize = sk.Params.MSS
+	}
 	// An initial SYN carries no ACK; everything else does.
 	if sk.State != SynSent {
 		p.Flags |= netproto.ACK
@@ -694,7 +745,7 @@ func AcceptCookieACK(env Env, t *cpu.Task, listener *Sock, p *netproto.Packet, s
 	env.InsertEstablished(t, child)
 	env.Accepted(t, child)
 	// The validating ACK may carry piggybacked data.
-	if len(p.Payload) > 0 || p.Flags.Has(netproto.FIN) {
+	if p.PayloadLen() > 0 || p.Flags.Has(netproto.FIN) {
 		Input(env, t, child, p) //fsvet:shared child is freshly reconstructed and exclusively owned on the cookie path
 	}
 	return child

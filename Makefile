@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint vet allocgate shardgate offloadgate test bench bench-go figures quick-figures faults examples clean
+.PHONY: all build lint vet allocgate shardgate offloadgate lifegate test bench bench-go figures quick-figures faults examples clean
 
 all: build test
 
@@ -59,7 +59,19 @@ offloadgate:
 	go test -race -run 'TestOffload|TestShardDigestOffload' ./internal/experiment
 	go run ./cmd/fsvet -root . -alloc-cross-check -offloads
 
-test: lint vet allocgate
+# Lifecycle gate: the host lifecycle plane's invariants. The app-layer
+# crash/drain/restart suite under the race detector, then the fixed
+# fsbench lifecycle scenarios with their built-in verdict enforcement
+# (every scenario recovers to >=99% of baseline, a graceful drain
+# aborts strictly fewer connections than a hard crash, a rolling
+# restart never looks like an outage). Refreshes the committed
+# BENCH_lifecycle.json — every value in it is simulated, so the file
+# only moves when lifecycle behaviour does.
+lifegate:
+	go test -race -run 'TestLifecycle' ./internal/app
+	go run ./cmd/fsbench lifecycle
+
+test: lint vet allocgate lifegate
 	go test ./...
 
 # Full test run recorded to test_output.txt (what CI would archive).

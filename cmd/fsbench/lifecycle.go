@@ -1,0 +1,171 @@
+package main
+
+// lifecycle runs the host-lifecycle availability scenarios — whole-host
+// crash vs graceful drain with cold restart, and the rolling restart of
+// all eight listen_spawn workers in both flavours — at a fixed scale
+// and seed, and writes BENCH_lifecycle.json. Unlike simperf, every
+// number in the report is simulated (no wall-clock measurements), so
+// the committed file regenerates byte-identically on any host; `make
+// lifegate` relies on that to catch behavioural drift in the lifecycle
+// plane the way the vet gate catches lock-graph drift.
+//
+// The run enforces the experiments' headline verdicts and aborts if
+// any regresses:
+//
+//   - every scenario recovers to >= 99% of its pre-event baseline;
+//   - a graceful drain aborts strictly fewer in-flight connections
+//     than a hard crash with the same downtime, and actually finishes
+//     connections inside its grace period;
+//   - a rolling restart (1/8 of capacity out at any moment) never
+//     looks like an outage: availability stays above 50% throughout.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fastsocket/internal/experiment"
+	"fastsocket/internal/sim"
+)
+
+// The fixed lifecycle scale: large enough that the retry clocks
+// (derived from the window) exercise backoff and budgets, small enough
+// that `make lifegate` stays in seconds.
+const (
+	lifecycleWarmup = 40 * sim.Millisecond
+	lifecycleWindow = 40 * sim.Millisecond
+	lifecycleSeed   = 1
+)
+
+// lifecycleSliceJSON is one observation slice of a run's time-series.
+type lifecycleSliceJSON struct {
+	EndMs        float64 `json:"end_ms"`
+	GoodputCPS   float64 `json:"goodput_cps"`
+	Availability float64 `json:"availability"`
+	Errors       uint64  `json:"errors"`
+	Retries      uint64  `json:"retries"`
+	P99Us        float64 `json:"p99_us"`
+}
+
+// lifecycleRunJSON is one scenario's summary plus its time-series.
+type lifecycleRunJSON struct {
+	Label           string  `json:"label"`
+	BaselineCPS     float64 `json:"baseline_cps"`
+	MinAvailability float64 `json:"min_availability"`
+	// RecoveryMs is -1 when the run never recovered.
+	RecoveryMs     float64              `json:"recovery_ms"`
+	Aborted        uint64               `json:"aborted"`
+	Drained        uint64               `json:"drained"`
+	ClientTimeouts uint64               `json:"client_timeouts"`
+	DeadSegs       uint64               `json:"dead_segs"`
+	Restarts       uint64               `json:"restarts"`
+	Slices         []lifecycleSliceJSON `json:"slices"`
+}
+
+type lifecycleExperimentJSON struct {
+	Title string             `json:"title"`
+	Cores int                `json:"cores"`
+	Runs  []lifecycleRunJSON `json:"runs"`
+}
+
+type lifecycleReport struct {
+	Note        string                    `json:"note"`
+	Experiments []lifecycleExperimentJSON `json:"experiments"`
+}
+
+func lifecycleRunJSONOf(run experiment.LifecycleRun) lifecycleRunJSON {
+	r := lifecycleRunJSON{
+		Label:           run.Label,
+		BaselineCPS:     roundTo(run.BaselineCPS, 0),
+		MinAvailability: roundTo(run.MinAvailability, 4),
+		RecoveryMs:      -1,
+		Aborted:         run.Aborted,
+		Drained:         run.Drained,
+		ClientTimeouts:  run.ClientTimeouts,
+		DeadSegs:        run.DeadSegs,
+		Restarts:        run.Restarts,
+	}
+	if run.RecoveryTime >= 0 {
+		r.RecoveryMs = roundTo(float64(run.RecoveryTime)/float64(sim.Millisecond), 3)
+	}
+	for _, s := range run.Slices {
+		r.Slices = append(r.Slices, lifecycleSliceJSON{
+			EndMs:        roundTo(float64(s.End)/float64(sim.Millisecond), 3),
+			GoodputCPS:   roundTo(s.GoodputCPS, 0),
+			Availability: roundTo(s.Availability, 4),
+			Errors:       s.Errors,
+			Retries:      s.Retries,
+			P99Us:        roundTo(float64(s.P99)/float64(sim.Microsecond), 1),
+		})
+	}
+	return r
+}
+
+// lifecycleEnforce aborts on any regression of a scenario pair's
+// verdicts. drain and crash index the gracefully- and hard-stopped run
+// inside res.Runs.
+func lifecycleEnforce(res experiment.LifecycleResult, drain, crash int, minAvail float64) {
+	for _, run := range res.Runs {
+		if run.RecoveryTime < 0 {
+			fmt.Fprintf(os.Stderr, "fsbench: lifecycle %q/%q never recovered to >=%.0f%% of baseline\n",
+				res.Title, run.Label, 100*experiment.RecoveryAvailability)
+			os.Exit(1)
+		}
+		if run.MinAvailability < minAvail {
+			fmt.Fprintf(os.Stderr, "fsbench: lifecycle %q/%q dipped to %.1f%% availability (floor %.0f%%)\n",
+				res.Title, run.Label, 100*run.MinAvailability, 100*minAvail)
+			os.Exit(1)
+		}
+	}
+	d, c := res.Runs[drain], res.Runs[crash]
+	if d.Aborted >= c.Aborted {
+		fmt.Fprintf(os.Stderr, "fsbench: lifecycle %q: graceful %q aborted %d >= hard %q %d; the grace period saved nothing\n",
+			res.Title, d.Label, d.Aborted, c.Label, c.Aborted)
+		os.Exit(1)
+	}
+	if d.Drained == 0 {
+		fmt.Fprintf(os.Stderr, "fsbench: lifecycle %q: %q finished no connections inside the grace period\n",
+			res.Title, d.Label)
+		os.Exit(1)
+	}
+}
+
+// runLifecycleBench executes both lifecycle experiments at the fixed
+// scale, enforces the verdicts, and writes BENCH_lifecycle.json.
+func runLifecycleBench() string {
+	o := experiment.Options{
+		Warmup: lifecycleWarmup,
+		Window: lifecycleWindow,
+		Seed:   lifecycleSeed,
+	}
+	crash := experiment.CrashRecovery(o)
+	rolling := experiment.RollingRestart(o)
+	// CrashRecovery: run 0 is the hard crash, run 1 the drain. A
+	// whole-host outage legitimately drops availability to ~0 while
+	// down, so no dip floor there; a rolling restart must stay well
+	// clear of one.
+	lifecycleEnforce(crash, 1, 0, 0)
+	lifecycleEnforce(rolling, 0, 1, 0.5)
+
+	rep := lifecycleReport{
+		Note: fmt.Sprintf("host lifecycle availability scenarios at fixed scale: warmup %v, window %v, seed %d; every value is simulated (no wall-clock), so this file regenerates byte-identically on any host — `make lifegate` enforces the recovery/drain-vs-crash verdicts and this stability", lifecycleWarmup, lifecycleWindow, lifecycleSeed),
+	}
+	for _, res := range []experiment.LifecycleResult{crash, rolling} {
+		e := lifecycleExperimentJSON{Title: res.Title, Cores: res.Cores}
+		for _, run := range res.Runs {
+			e.Runs = append(e.Runs, lifecycleRunJSONOf(run))
+		}
+		rep.Experiments = append(rep.Experiments, e)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsbench: lifecycle encode: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_lifecycle.json", out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fsbench: lifecycle write: %v\n", err)
+		os.Exit(1)
+	}
+	return crash.Format() + rolling.Format()
+}

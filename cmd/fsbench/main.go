@@ -48,6 +48,10 @@ experiments:
              baseline vs Fastsocket (deterministic fault injection)
   overload   offered load ramped past capacity: accept throughput
              plateaus with syncookies, collapses without
+  lifecycle  host crash/drain/restart and rolling worker restarts under
+             live load: availability time-series, recovery time, and
+             graceful-vs-hard verdicts (fixed scale; writes
+             BENCH_lifecycle.json)
   all        run everything
 
 flags:
@@ -155,6 +159,9 @@ func main() {
 		},
 		"simperf": func() {
 			fmt.Print(runSimperf())
+		},
+		"lifecycle": func() {
+			fmt.Print(runLifecycleBench())
 		},
 	}
 	order := []string{"figure3", "figure4a", "figure4b", "table1", "figure5", "longlived", "synflood", "ablation", "offload", "losssweep", "overload"}

@@ -30,6 +30,9 @@ type HTTPLoad struct {
 	retransmit  bool
 	maxRetry    int
 	chunkBytes  int
+	seed        uint64
+	backoffCap  sim.Time
+	retryBudget int
 
 	conns      map[netproto.FourTuple]*cliConn
 	nextIP     int
@@ -48,8 +51,15 @@ type HTTPLoad struct {
 
 	// Results.
 	Completed uint64
-	Errors    uint64 // RSTs and SYN-retry exhaustion
+	Errors    uint64 // RSTs and SYN-retry exhaustion, after the retry budget
 	Bytes     uint64
+	// ConnTimeouts counts establishment attempts that exhausted their
+	// SYN retries (the client-side ETIMEDOUT), a subset of the failures
+	// feeding Errors/Retries.
+	ConnTimeouts uint64
+	// Retries counts failed attempts answered by a fresh connection
+	// under RetryBudget (each consumed one unit of budget).
+	Retries   uint64
 	Latencies *stats.Histogram
 	// ConnLatencies measures whole-connection latency (open to last
 	// response), which under loss includes every retransmission
@@ -80,6 +90,8 @@ type cliConn struct {
 	finAcked       bool
 	peerFin        bool
 	synRetries     int
+	attempt        int    // which retry-budget attempt this connection is
+	maxAck         uint32 // highest cumulative ACK seen (forward-progress detection)
 	synTimer       sim.Event
 	// Data/FIN retransmission state (only armed when the generator is
 	// built with Retransmit — loss-tolerant mode).
@@ -122,6 +134,20 @@ type HTTPLoadConfig struct {
 	// GRO-mergeable — instead of one synthetic giant frame. 0 keeps
 	// the original single-packet request.
 	ChunkBytes int
+	// BackoffCap, when non-zero, switches the SYN retransmission
+	// timer from a fixed RTO to capped exponential backoff
+	// (RTO, 2·RTO, 4·RTO, … up to BackoffCap) with deterministic
+	// jitter hashed from (seed, tuple, attempt, retry count) — no
+	// shared PRNG stream, so the schedule of one connection can never
+	// shift another's. 0 keeps the original fixed-RTO behaviour.
+	BackoffCap sim.Time
+	// RetryBudget, when non-zero, lets a failed attempt (RST from the
+	// server, or SYN retries exhausted) retry the same logical request
+	// on a fresh connection after a backoff, up to this many times.
+	// Only a request whose budget is exhausted counts as an Error —
+	// the availability experiments measure exactly this distinction.
+	// 0 keeps the original fail-fast behaviour.
+	RetryBudget int
 }
 
 // NewHTTPLoad builds the generator and attaches it to the fabric.
@@ -167,6 +193,9 @@ func NewHTTPLoad(loop *sim.Loop, net Wire, cfg HTTPLoadConfig) *HTTPLoad {
 		retransmit:    cfg.Retransmit,
 		maxRetry:      cfg.MaxRetry,
 		chunkBytes:    cfg.ChunkBytes,
+		seed:          cfg.Seed,
+		backoffCap:    cfg.BackoffCap,
+		retryBudget:   cfg.RetryBudget,
 		conns:         map[netproto.FourTuple]*cliConn{},
 		portCursor:    make([]netproto.Port, len(cfg.ClientIPs)),
 		Latencies:     stats.NewHistogram(),
@@ -233,12 +262,18 @@ func (h *HTTPLoad) InFlight() int { return len(h.conns) }
 // Launched reports total connections started.
 func (h *HTTPLoad) Launched() uint64 { return h.launched }
 
-// open starts one connection.
+// open starts one connection on the next round-robin target.
 func (h *HTTPLoad) open() {
-	ipIdx := h.nextIP % len(h.ips)
-	h.nextIP++
 	target := h.targets[h.nextTarget%len(h.targets)]
 	h.nextTarget++
+	h.openTo(target, 0)
+}
+
+// openTo starts one connection to a pinned target, carrying the
+// retry-budget attempt number (0 for a fresh request).
+func (h *HTTPLoad) openTo(target netproto.Addr, attempt int) {
+	ipIdx := h.nextIP % len(h.ips)
+	h.nextIP++
 
 	var local netproto.Addr
 	for tries := 0; ; tries++ {
@@ -253,7 +288,15 @@ func (h *HTTPLoad) open() {
 			break
 		}
 		if tries > 30000 {
-			h.Errors++
+			// Ephemeral-port space to this target is exhausted right
+			// now. The retry plane re-polls after an RTO rather than
+			// leaking the closed-loop slot (ports free as connections
+			// retire); without it this stays the original hard error.
+			if h.retryBudget > 0 {
+				h.loop.After(h.rto, func() { h.openTo(target, attempt) })
+			} else {
+				h.Errors++
+			}
 			return
 		}
 	}
@@ -263,6 +306,8 @@ func (h *HTTPLoad) open() {
 	c.remote = target
 	c.state = cliSynSent
 	c.isn = isn
+	c.attempt = attempt
+	c.maxAck = isn
 	c.sndNxt = isn + 1
 	c.start = h.loop.Now()
 	c.reqStart = h.loop.Now()
@@ -281,7 +326,48 @@ func (h *HTTPLoad) sendSYN(c *cliConn) {
 }
 
 func (h *HTTPLoad) armSYNRetry(c *cliConn) {
-	c.synTimer = h.loop.After(h.rto, c.synFn)
+	c.synTimer = h.loop.After(h.synRTO(c), c.synFn)
+}
+
+// synRTO is the delay before the next SYN (re)transmission. With
+// BackoffCap unset it is the original fixed RTO. Otherwise it doubles
+// per retry up to the cap, plus deterministic jitter in [-d/8, +d/8)
+// hashed purely from (seed, tuple, attempt, retry count): the same
+// connection always draws the same jitter, and no draw consumes
+// shared PRNG state, so cross-flow interleaving cannot move it.
+func (h *HTTPLoad) synRTO(c *cliConn) sim.Time {
+	if h.backoffCap <= 0 {
+		return h.rto
+	}
+	d := h.rto << uint(c.synRetries)
+	if d <= 0 || d > h.backoffCap {
+		d = h.backoffCap
+	}
+	return d - d/8 + h.jitter(c, uint64(c.synRetries), d/4)
+}
+
+// jitter draws a pure-hash value in [0, span) for this connection's
+// n-th draw of the current attempt.
+func (h *HTTPLoad) jitter(c *cliConn, n uint64, span sim.Time) sim.Time {
+	if span <= 0 {
+		return 0
+	}
+	key := h.seed
+	key = mixCli(key ^ uint64(c.local.IP)<<16 ^ uint64(c.local.Port))
+	key = mixCli(key ^ uint64(c.remote.IP)<<16 ^ uint64(c.remote.Port))
+	key = mixCli(key ^ uint64(c.attempt)<<32 ^ n)
+	return sim.Time(key % uint64(span))
+}
+
+// mixCli is the splitmix64 finalizer (the same pure-hash construction
+// the fault plane uses for its per-flow decisions).
+func mixCli(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 func (h *HTTPLoad) synFire(c *cliConn) {
@@ -290,6 +376,7 @@ func (h *HTTPLoad) synFire(c *cliConn) {
 	}
 	c.synRetries++
 	if c.synRetries > h.maxSYNRetry {
+		h.ConnTimeouts++ // establishment timed out: the client ETIMEDOUT
 		h.fail(c)
 		return
 	}
@@ -301,16 +388,41 @@ func (h *HTTPLoad) key(c *cliConn) netproto.FourTuple {
 	return netproto.FourTuple{Src: c.remote, Dst: c.local}
 }
 
+// fail ends one attempt. Under RetryBudget the request survives: a
+// fresh connection to the same target is opened after a backoff, and
+// only budget exhaustion reaches Errors.
 func (h *HTTPLoad) fail(c *cliConn) {
+	if h.retryBudget > 0 && c.attempt < h.retryBudget {
+		h.Retries++
+		attempt := c.attempt + 1
+		target := c.remote
+		delay := h.rto
+		if h.backoffCap > 0 {
+			d := h.rto << uint(attempt-1)
+			if d <= 0 || d > h.backoffCap {
+				d = h.backoffCap
+			}
+			delay = d - d/8 + h.jitter(c, 0x7265747279, d/4)
+		}
+		h.closeConn(c)
+		h.loop.After(delay, func() { h.openTo(target, attempt) })
+		return
+	}
 	h.Errors++
 	h.finish(c)
 }
 
-func (h *HTTPLoad) finish(c *cliConn) {
+// closeConn retires the connection without the closed-loop
+// replacement (the retry path schedules its own successor).
+func (h *HTTPLoad) closeConn(c *cliConn) {
 	c.synTimer.Cancel()
 	c.rtxTimer.Cancel()
 	delete(h.conns, h.key(c))
 	h.freeConns = append(h.freeConns, c)
+}
+
+func (h *HTTPLoad) finish(c *cliConn) {
+	h.closeConn(c)
 	if h.concurrency > 0 {
 		h.open() // closed loop: replace immediately
 	}
@@ -321,6 +433,7 @@ func (h *HTTPLoad) sendRequest(c *cliConn) {
 	h.sendData(c, h.reqBytes, c.sndNxt)
 	c.sndNxt += uint32(len(h.reqBytes))
 	c.reqStart = h.loop.Now()
+	c.retries = 0 // fresh unacked-data epoch
 	h.armRetry(c)
 }
 
@@ -355,6 +468,7 @@ func (h *HTTPLoad) sendFIN(c *cliConn) {
 	h.net.Send(p)
 	c.sndNxt++
 	c.state = cliFinSent
+	c.retries = 0 // fresh unacked-data epoch
 	h.armRetry(c)
 }
 
@@ -366,7 +480,25 @@ func (h *HTTPLoad) armRetry(c *cliConn) {
 		return
 	}
 	c.rtxTimer.Cancel()
-	c.rtxTimer = h.loop.After(h.rto, c.rtxFn)
+	c.rtxTimer = h.loop.After(h.dataRTO(c), c.rtxFn)
+}
+
+// dataRTO is the data/FIN retransmission delay. With BackoffCap unset
+// it is the original fixed RTO. Otherwise it doubles per retry up to
+// the cap with the same deterministic jitter as the SYN path — vital
+// against a server that stops accepting: a thousand stalled
+// connections retransmitting at a fixed short RTO is a SoftIRQ storm
+// that starves the very accept loops that would drain them
+// (receive-livelock), while backed-off retransmissions decay.
+func (h *HTTPLoad) dataRTO(c *cliConn) sim.Time {
+	if h.backoffCap <= 0 {
+		return h.rto
+	}
+	d := h.rto << uint(c.retries)
+	if d <= 0 || d > h.backoffCap {
+		d = h.backoffCap
+	}
+	return d - d/8 + h.jitter(c, 0x64617461+uint64(c.retries), d/4)
 }
 
 func (h *HTTPLoad) retryFire(c *cliConn) {
@@ -375,6 +507,16 @@ func (h *HTTPLoad) retryFire(c *cliConn) {
 	}
 	c.retries++
 	if c.retries > h.maxRetry {
+		// With the retry plane on, give up the way a real client
+		// kernel does: an aborting close sends RST so the server
+		// tears its half down at once. Without it every abandoned
+		// attempt leaves an ESTABLISHED orphan parked in the server's
+		// accept queue, attracting retransmissions — the makings of a
+		// livelock. RetryBudget == 0 keeps the original silent
+		// abandonment.
+		if h.retryBudget > 0 {
+			h.abortRST(c)
+		}
 		h.fail(c)
 		return
 	}
@@ -395,6 +537,17 @@ func (h *HTTPLoad) retryFire(c *cliConn) {
 		}
 	}
 	h.armRetry(c)
+}
+
+// abortRST is the client's aborting close: one RST at the current
+// send position, so the server side is torn down immediately instead
+// of discovering the abandonment by retransmission timeout.
+func (h *HTTPLoad) abortRST(c *cliConn) {
+	p := h.pool.Get()
+	p.Src, p.Dst = c.local, c.remote
+	p.Flags = netproto.RST | netproto.ACK
+	p.Seq, p.Ack = c.sndNxt, c.rcvNxt
+	h.net.Send(p)
 }
 
 func (h *HTTPLoad) ack(c *cliConn) {
@@ -428,10 +581,20 @@ func (h *HTTPLoad) deliver(p *netproto.Packet) {
 		return
 	}
 	if h.retransmit && c.state != cliSynSent {
-		// Anything arriving from the server counts as progress for
-		// the client-side retransmission clock.
-		c.retries = 0
+		// Any arrival pushes the retransmission timer out. With
+		// backoff enabled, only forward progress resets the retry
+		// count: a pure duplicate ACK must not let a stalled
+		// connection retransmit forever (real TCP restarts its
+		// counter only when the ACK advances); receive-side progress
+		// resets it below where rcvNxt moves. BackoffCap == 0 keeps
+		// the original any-arrival reset.
 		h.armRetry(c)
+		if h.backoffCap <= 0 {
+			c.retries = 0
+		} else if p.Flags.Has(netproto.ACK) && int32(p.Ack-c.maxAck) > 0 {
+			c.maxAck = p.Ack
+			c.retries = 0
+		}
 	}
 	switch c.state {
 	case cliSynSent:
@@ -455,6 +618,7 @@ func (h *HTTPLoad) deliver(p *netproto.Packet) {
 				h.Bytes += uint64(plen - off)
 				c.rcvNxt += uint32(plen - off)
 				advanced = true
+				c.retries = 0
 			} else if off >= plen {
 				// Fully duplicate data, e.g. a server retransmission
 				// that crossed our ACK: re-ACK so the server's timer
@@ -497,6 +661,7 @@ func (h *HTTPLoad) deliver(p *netproto.Packet) {
 			// The server's FIN (passive close after ours).
 			c.rcvNxt++
 			c.peerFin = true
+			c.retries = 0
 			h.ack(c)
 		}
 		if p.Flags.Has(netproto.ACK) && p.Ack == c.sndNxt {

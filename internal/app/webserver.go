@@ -135,6 +135,12 @@ func (s *WebServer) Workers() []*kernel.Process {
 
 func (w *srvWorker) start(t *cpu.Task) {
 	k := w.s.K
+	if len(w.listenFD) > 0 || len(w.conns) > 0 {
+		// Cold restart after a lifecycle crash/drain: the process got a
+		// fresh fd table, so all recorded fds are stale.
+		w.listenFD = map[int]bool{}
+		w.conns = w.conns[:0]
+	}
 	if k.Config().Reuseport() {
 		for _, ip := range k.IPs() {
 			fd := w.p.Socket(t)

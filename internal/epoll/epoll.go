@@ -46,13 +46,24 @@ type Watch struct {
 	queued bool
 	//fsvet:shared written only by the owning process (epoll_ctl); Notify's unlocked read races benignly — dead watches are discarded lazily at Wait
 	dead bool
+	// level, when set, makes the watch level-triggered: every Wait
+	// re-probes the callback and re-reports the watch while it says
+	// ready. Listen sockets need this — real epoll keeps returning a
+	// listen fd as long as its accept queue is non-empty, which is
+	// what lets an accept loop bounded at N per wakeup drain a deep
+	// backlog without a fresh edge for every leftover connection.
+	//fsvet:shared written once by the owning process at registration time (epoll_ctl), before any Wait or Notify can observe the watch
+	level func() Events
 }
 
 // Instance is one epoll file descriptor's worth of state.
 type Instance struct {
 	Lock  *lock.SpinLock // "ep.lock"
 	ready []*Watch
-	costs Costs
+	// levels holds the level-triggered watches, probed at every Wait.
+	//fsvet:shared appended only by the owning process at registration time (epoll_ctl); Wait runs on the same owner
+	levels []*Watch
+	costs  Costs
 	//fsvet:shared lossy aggregate counters, bumped outside ep.lock on purpose (the hold window stays minimal)
 	stats Stats
 
@@ -80,6 +91,15 @@ func (ep *Instance) SetWaker(fn func()) { ep.waker = fn }
 func (ep *Instance) Register(t *cpu.Task, item any) *Watch {
 	t.Charge(ep.costs.Ctl)
 	return &Watch{inst: ep, Item: item}
+}
+
+// SetLevel makes w level-triggered: probe is consulted on every Wait
+// and the watch is re-reported while it returns a non-zero mask.
+// Called once at registration time (epoll_ctl), before any Wait can
+// observe the watch.
+func (ep *Instance) SetLevel(w *Watch, probe func() Events) {
+	w.level = probe
+	ep.levels = append(ep.levels, w)
 }
 
 // Unregister removes the watch (EPOLL_CTL_DEL). Pending ready events
@@ -128,6 +148,19 @@ func (ep *Instance) Wait(t *cpu.Task, max int) []Ready {
 	ep.Lock.Acquire(t)
 	t.Charge(ep.costs.Wait)
 	ep.stats.Waits++
+	// Level-triggered pass: re-report any still-ready level watch that
+	// has no queued edge (its last event was delivered but the
+	// condition — a non-empty accept queue — persists).
+	for _, w := range ep.levels {
+		if w.dead || w.queued {
+			continue
+		}
+		if ev := w.level(); ev != 0 {
+			w.events |= ev
+			w.queued = true
+			ep.ready = append(ep.ready, w)
+		}
+	}
 	n := len(ep.ready)
 	if max > 0 && n > max {
 		n = max

@@ -76,11 +76,15 @@ type Plan struct {
 	// AllocFail is the probability that a VFS inode/dentry or TCB
 	// allocation fails (memory-pressure mode).
 	AllocFail float64
+	// Lifecycle schedules host/worker crash, drain and restart events
+	// (the lifecycle plane). The zero value schedules nothing.
+	Lifecycle LifecyclePlan
 }
 
 // Enabled reports whether the plan injects anything at all.
 func (p Plan) Enabled() bool {
-	return p.C2S.enabled() || p.S2C.enabled() || p.RingSize != 0 || p.AllocFail > 0
+	return p.C2S.enabled() || p.S2C.enabled() || p.RingSize != 0 || p.AllocFail > 0 ||
+		p.Lifecycle.Enabled()
 }
 
 // LinkEnabled reports whether any wire-level fault is configured.
@@ -293,14 +297,154 @@ func CorruptCopy(p *netproto.Packet) *netproto.Packet {
 	return &cp
 }
 
+// --- Lifecycle plane --------------------------------------------------
+//
+// The lifecycle plane schedules host- and worker-granularity failure
+// events: hard crashes (every TCB dropped, listeners torn down,
+// processes dead), graceful drains (listeners closed, established
+// connections allowed to finish until a deadline), and cold restarts.
+// Unlike the link faults there is nothing probabilistic here — events
+// fire at fixed simulated times and the policies are declarative — so
+// the determinism contract is trivial: the schedule is part of the
+// configuration, independent of cross-flow interleaving, and identical
+// under the legacy and sharded engines by construction.
+
+// LifecycleAction is the kind of one scheduled lifecycle event.
+type LifecycleAction int
+
+// Lifecycle actions. Host* events affect the whole machine; Worker*
+// events affect a single process (a listen_spawn worker) while the
+// rest of the machine keeps serving.
+const (
+	// HostCrash kills the machine at Event.At: every TCB is dropped,
+	// listeners and per-core listen tables are torn down, processes
+	// die. Subsequent segments are answered per the Dead policy.
+	HostCrash LifecycleAction = iota + 1
+	// HostDrain closes the machine's listeners at Event.At (new SYNs
+	// are refused per the DrainSilent policy) and lets established
+	// connections finish until Event.Deadline, after which the
+	// leftovers are swept with RST.
+	HostDrain
+	// WorkerCrash kills one process: its local listen clone and wake
+	// registrations are removed and its connections are reset.
+	WorkerCrash
+	// WorkerDrain removes one process's local listen clone and wake
+	// registrations (new connections rebalance onto its peers), lets
+	// its connections finish until Event.Deadline, then sweeps the
+	// leftovers with RST.
+	WorkerDrain
+)
+
+// String names the action.
+func (a LifecycleAction) String() string {
+	switch a {
+	case HostCrash:
+		return "host-crash"
+	case HostDrain:
+		return "host-drain"
+	case WorkerCrash:
+		return "worker-crash"
+	case WorkerDrain:
+		return "worker-drain"
+	default:
+		return fmt.Sprintf("LifecycleAction(%d)", int(a))
+	}
+}
+
+// DeadPolicy decides the fate of segments arriving for a crashed
+// host.
+type DeadPolicy int
+
+// Dead-host policies.
+const (
+	// DeadSilent drops segments to a dead host on the floor (the
+	// physical behaviour: a powered-off machine answers nothing, and
+	// peers discover the failure only via their own timers).
+	DeadSilent DeadPolicy = iota
+	// DeadRST answers every non-RST segment with a RST — the
+	// fail-fast signal of a host whose kernel is up but whose stack
+	// holds no state (or of an ICMP-unreachable-translating LB).
+	DeadRST
+)
+
+// LifecycleEvent is one scheduled crash/drain with an optional
+// restart.
+type LifecycleEvent struct {
+	// At is the absolute simulated time the event fires.
+	At sim.Time
+	// Action selects what happens.
+	Action LifecycleAction
+	// Worker indexes the target process for Worker* actions (the
+	// kernel's process creation order); ignored for Host* actions.
+	Worker int
+	// RestartAfter, when positive, cold-restarts the host (or worker)
+	// that long after the event completes: empty tables and caches,
+	// listeners re-registered, processes rerun their startup. 0 means
+	// the target stays down.
+	RestartAfter sim.Time
+	// Deadline is the drain grace period: established connections may
+	// finish for this long after At before the forced RST sweep.
+	// Ignored for crashes (a crash is immediate). 0 sweeps at once.
+	Deadline sim.Time
+}
+
+// LifecyclePlan is the declarative lifecycle schedule for one
+// machine. The zero value schedules nothing.
+type LifecyclePlan struct {
+	Events []LifecycleEvent
+	// Dead is the crashed-host answer policy (default DeadSilent).
+	Dead DeadPolicy
+	// DrainSilent drops SYNs arriving during a drain instead of
+	// answering RST (default false: refuse fast so clients re-resolve
+	// immediately).
+	DrainSilent bool
+}
+
+// Enabled reports whether any lifecycle event is scheduled.
+func (lp LifecyclePlan) Enabled() bool { return len(lp.Events) > 0 }
+
+// parseSimDuration parses "5ms"-style duration literals into
+// simulated time. Local so the package stays off the wall-clock time
+// package; only the units the plan specs use are supported.
+func parseSimDuration(val string) (sim.Time, error) {
+	units := []struct {
+		suffix string
+		scale  sim.Time
+	}{
+		{"ns", 1},
+		{"us", sim.Microsecond},
+		{"µs", sim.Microsecond},
+		{"ms", sim.Millisecond},
+		{"s", sim.Second},
+	}
+	for _, u := range units {
+		num, ok := strings.CutSuffix(val, u.suffix)
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(num, 64)
+		if err != nil || f < 0 {
+			return 0, fmt.Errorf("bad duration %q", val)
+		}
+		return sim.Time(f * float64(u.scale)), nil
+	}
+	return 0, fmt.Errorf("bad duration %q (want e.g. 500us, 5ms, 1s)", val)
+}
+
 // ParsePlan parses a compact plan spec of comma-separated key=value
 // pairs, e.g. "loss=0.01,ring=256,allocfail=0.001". Probabilistic
 // keys (loss, dup, reorder, corrupt) apply to both directions.
+// Lifecycle keys (crash, drain, restart, deadline, worker, deadpolicy,
+// drainsyn) compose one scheduled lifecycle event, e.g.
+// "crash=5ms,restart=2ms,deadpolicy=rst".
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
 	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
+	// One lifecycle event may be composed across keys; assembled at
+	// the end if any lifecycle key appeared.
+	var lifeEv LifecycleEvent
 	for _, part := range strings.Split(spec, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
@@ -331,9 +475,61 @@ func ParsePlan(spec string) (Plan, error) {
 				return Plan{}, fmt.Errorf("fault: ring=%q is not an integer", val)
 			}
 			p.RingSize = n
+		case "crash", "drain", "restart", "deadline":
+			st, err := parseSimDuration(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: %s=%q is not a duration", key, val)
+			}
+			switch key {
+			case "crash":
+				lifeEv.At, lifeEv.Action = st, HostCrash
+			case "drain":
+				lifeEv.At, lifeEv.Action = st, HostDrain
+			case "restart":
+				lifeEv.RestartAfter = st
+			case "deadline":
+				lifeEv.Deadline = st
+			}
+		case "worker":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("fault: worker=%q is not a process index", val)
+			}
+			lifeEv.Worker = n + 1 // sentinel-shifted; unshifted below
+		case "deadpolicy":
+			switch strings.ToLower(val) {
+			case "silent":
+				p.Lifecycle.Dead = DeadSilent
+			case "rst":
+				p.Lifecycle.Dead = DeadRST
+			default:
+				return Plan{}, fmt.Errorf("fault: deadpolicy=%q (want silent or rst)", val)
+			}
+		case "drainsyn":
+			switch strings.ToLower(val) {
+			case "rst":
+				p.Lifecycle.DrainSilent = false
+			case "silent":
+				p.Lifecycle.DrainSilent = true
+			default:
+				return Plan{}, fmt.Errorf("fault: drainsyn=%q (want rst or silent)", val)
+			}
 		default:
 			return Plan{}, fmt.Errorf("fault: unknown plan key %q", key)
 		}
+	}
+	if lifeEv.Action != 0 {
+		if lifeEv.Worker > 0 {
+			lifeEv.Worker--
+			if lifeEv.Action == HostCrash {
+				lifeEv.Action = WorkerCrash
+			} else {
+				lifeEv.Action = WorkerDrain
+			}
+		}
+		p.Lifecycle.Events = append(p.Lifecycle.Events, lifeEv)
+	} else if lifeEv != (LifecycleEvent{}) {
+		return Plan{}, fmt.Errorf("fault: restart/deadline/worker need crash= or drain=")
 	}
 	return p, nil
 }

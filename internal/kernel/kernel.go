@@ -45,6 +45,16 @@ type Stats struct {
 	TSOSuperSegs          uint64 // TSO super-segments handed to the NIC (each worth PacketsOut wire segments)
 	GROMergedSegs         uint64 // RX ring segments absorbed into a GRO super-segment
 	CoalescedWakeups      uint64 // ring arrivals that rode an armed coalescing timer instead of raising NAPI
+
+	// Lifecycle-plane counters (see lifecycle.go).
+	RSTRcvd        uint64 // RST segments received (the receive-side mirror of RSTSent)
+	ConnTimeouts   uint64 // active opens aborted after SYN-retry exhaustion (ETIMEDOUT)
+	Retries        uint64 // handshake (SYN/SYN-ACK) retransmissions, a subset of RetransSegs
+	DrainedConns   uint64 // connections that completed normally while the host was draining
+	AbortedOnDrain uint64 // connections RST-swept at a drain deadline
+	CrashAborts    uint64 // connections dropped by a host or worker crash
+	HostRestarts   uint64 // cold restarts (host-wide or single worker)
+	DeadSegs       uint64 // segments that arrived while the host was down
 }
 
 // sockExt is the kernel-side extension of a tcp.Sock (stored in
@@ -154,6 +164,22 @@ type Kernel struct {
 	// means no fault plane is configured).
 	faults *fault.Engine
 
+	// Lifecycle-plane state (see lifecycle.go). life is lifeUp for the
+	// whole run unless a LifecyclePlan schedules events; every check is
+	// a single predictable branch on the clean path.
+	//fsvet:shared lifecycle transitions run as kernel tasks on core 0; reads elsewhere see a stable value between transitions
+	life lifeState
+	//fsvet:shared rides with life: the declarative policy block, written once at boot
+	lifePlan fault.LifecyclePlan
+	// bootListeners remembers the pre-fork listen sockets so a cold
+	// restart can re-register them (the app keeps pointers to them).
+	bootListeners []*tcp.Sock
+	// drainSweeping marks the forced-abort sweep so Destroy can tell a
+	// swept connection from one that finished on its own while
+	// draining.
+	//fsvet:percore set and cleared within one drain-sweep task on core 0
+	drainSweeping bool
+
 	// pool/socks/extFree recycle packet headers, TCBs and their
 	// kernel-side extensions (enable_skb_pool and the sock slabs).
 	// Per-kernel: the sweep runner executes whole simulations on
@@ -219,6 +245,10 @@ func New(loop *sim.Loop, cfg Config) *Kernel {
 	}
 	if cfg.Fault != nil && cfg.Fault.Enabled() {
 		k.faults = fault.NewEngine(cfg.Seed, *cfg.Fault)
+	}
+	if cfg.Fault != nil && cfg.Fault.Lifecycle.Enabled() {
+		k.lifePlan = cfg.Fault.Lifecycle
+		k.scheduleLifecycle()
 	}
 	k.l3 = cache.NewDomain(c.L3Miss, c.BgMissRate, k.rng)
 	k.nic = nic.New(nic.Config{
@@ -344,6 +374,13 @@ func (k *Kernel) SNMP() stats.SNMP {
 		TSOSuperSegs:     k.stats.TSOSuperSegs,
 		GROMergedSegs:    k.stats.GROMergedSegs,
 		CoalescedWakeups: k.stats.CoalescedWakeups,
+
+		RSTRcvd:        k.stats.RSTRcvd,
+		ConnTimeouts:   k.stats.ConnTimeouts,
+		Retries:        k.stats.Retries,
+		DrainedConns:   k.stats.DrainedConns,
+		AbortedOnDrain: k.stats.AbortedOnDrain,
+		HostRestarts:   k.stats.HostRestarts,
 	}
 	for _, lsk := range k.allListeners {
 		s.SynCookiesSent += lsk.CookiesSent
@@ -391,6 +428,10 @@ func (k *Kernel) isLocalIP(ip netproto.IP) bool {
 //
 //fsvet:hotpath wire ingress, runs once per delivered segment
 func (k *Kernel) Deliver(p *netproto.Packet) {
+	if k.life == lifeDown {
+		k.deadDeliver(p)
+		return
+	}
 	q := k.nic.SteerRX(p)
 	k.stats.PacketsIn++
 	// Figure 5b instrumentation: first-touch locality for active
@@ -591,6 +632,11 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 		k.pool.Put(p)
 		return
 	}
+	if p.Flags.Has(netproto.RST) {
+		// Receive-side reset accounting (the mirror of RSTSent); the
+		// segment still flows through demux and TCP input below.
+		k.stats.RSTRcvd++
+	}
 
 	if k.rfd != nil && !steered {
 		k.hlTask = t
@@ -677,7 +723,14 @@ func (k *Kernel) netrx(t *cpu.Task, p *netproto.Packet, steered bool) {
 		}
 	}
 
-	// No socket wants this packet: answer RST (never RST an RST).
+	// No socket wants this packet. While draining with the silent
+	// policy, unmatched segments (the refused SYNs) vanish instead of
+	// drawing a RST — the LB-has-already-moved-on behaviour.
+	if k.life == lifeDraining && k.lifePlan.DrainSilent {
+		k.pool.Put(p)
+		return
+	}
+	// Answer RST (never RST an RST).
 	if !p.Flags.Has(netproto.RST) {
 		t.Charge(c.SendRST)
 		k.stats.RSTSent++
@@ -796,6 +849,9 @@ func (k *Kernel) SetAcceptWakeAll(v bool) { k.acceptWakeAll = v }
 
 // ConnectDone implements tcp.Env.
 func (k *Kernel) ConnectDone(t *cpu.Task, sk *tcp.Sock, err error) {
+	if err == tcp.ErrTimeout {
+		k.stats.ConnTimeouts++
+	}
 	e := ext(sk)
 	if e.owner == nil || e.watch == nil {
 		return
@@ -867,10 +923,14 @@ func (k *Kernel) rtxFire(ht *cpu.Task, e *sockExt) {
 	sk.Slock.Acquire(ht)
 	k.touch(ht, sk)
 	before := sk.Retransmits
+	handshake := sk.State == tcp.SynSent || sk.State == tcp.SynRcvd
 	tcp.RetransmitTimeout(k, ht, sk)
 	// SNMP RetransSegs aggregates the per-socket counters, so the
 	// two accountings agree by construction.
 	k.stats.RetransSegs += sk.Retransmits - before
+	if handshake {
+		k.stats.Retries += sk.Retransmits - before
+	}
 	sk.Slock.Release(ht)
 	k.putSock(e)
 }
@@ -916,6 +976,13 @@ func (k *Kernel) Destroy(t *cpu.Task, sk *tcp.Sock) {
 	if e.portBound {
 		delete(k.usedPorts, sk.Local)
 		e.portBound = false
+	}
+	if !k.drainSweeping &&
+		(k.life == lifeDraining || (e.owner != nil && e.owner.draining)) {
+		// A connection that ran to completion under a host or worker
+		// drain grace period (the sweep's own aborts are counted as
+		// AbortedOnDrain by the sweep itself).
+		k.stats.DrainedConns++
 	}
 	addLockStats(&k.slockAgg, sk.Slock.Stats())
 	e.destroyed = true

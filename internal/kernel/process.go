@@ -36,6 +36,8 @@ type Process struct {
 	//fsvet:shared the wakeup flag is written cross-core by epoll Notify (try_to_wake_up); the schedule guard makes the race idempotent
 	scheduled bool
 	dead      bool
+	//fsvet:percore set and cleared by the lifecycle plane on the worker's own core
+	draining bool
 	//fsvet:percore read and written only by run, on the process's own core
 	wasAsleep bool
 }
@@ -95,6 +97,21 @@ func (p *Process) Kill() {
 
 // Dead reports whether Kill was called.
 func (p *Process) Dead() bool { return p.dead }
+
+// Reset rebuilds the process for a cold restart after a lifecycle
+// crash or drain: a fresh fd table and epoll instance (the old ones
+// died with the process image) and cleared run state, so Start reruns
+// OnStart exactly as at boot.
+func (p *Process) Reset() {
+	p.dead = false
+	p.draining = false
+	p.started = false
+	p.scheduled = false
+	p.wasAsleep = false
+	p.FDs = vfs.NewFDTable()
+	p.Ep = epoll.New(p.K.cfg.Costs.LockBounce, p.K.cfg.Costs.Epoll)
+	p.Ep.SetWaker(p.schedule)
+}
 
 func (p *Process) schedule() {
 	if p.scheduled || p.dead {
@@ -214,6 +231,7 @@ func (k *Kernel) BootListener(addr netproto.Addr) *tcp.Sock {
 	e.file = k.vfsl.AllocBoot(sk)
 	k.tables.GlobalListen.Insert(nil, sk)
 	k.allListeners = append(k.allListeners, sk)
+	k.bootListeners = append(k.bootListeners, sk)
 	return sk
 }
 
@@ -260,7 +278,30 @@ func (p *Process) EpollAdd(t *cpu.Task, fd int) {
 	e := ext(sk)
 	w := p.Ep.Register(t, fd)
 	if e.listen != nil {
-		e.listen.watchers = append(e.listen.watchers, procWatch{proc: p, watch: w})
+		lex := e.listen
+		core := p.Core
+		// With the lifecycle plane armed, listen fds are
+		// level-triggered, as in real epoll: Wait keeps reporting the
+		// fd while a queue this process can accept from (the shared
+		// queue, or its core's local clone) is non-empty. Without
+		// this, an accept loop bounded per wakeup strands the
+		// backlog's tail whenever the edge notifications were
+		// coalesced and no further connections arrive — exactly the
+		// post-restart flood the lifecycle experiments drive. Gated on
+		// the plan so a zero-valued LifecyclePlan leaves the original
+		// edge-triggered schedule untouched.
+		if p.K.lifePlan.Enabled() {
+			p.Ep.SetLevel(w, func() epoll.Events {
+				if len(lex.global.AcceptQueue) > 0 {
+					return epoll.In
+				}
+				if cl := lex.clones[core]; cl != nil && len(cl.AcceptQueue) > 0 {
+					return epoll.In
+				}
+				return 0
+			})
+		}
+		lex.watchers = append(lex.watchers, procWatch{proc: p, watch: w})
 		return
 	}
 	e.watch = w
@@ -293,9 +334,13 @@ func (p *Process) Accept(t *cpu.Task, fd int) (int, bool) {
 	}
 
 	// Dequeue under the owning socket's lock, charging the shared or
-	// local pop cost (written out — no per-accept closure).
+	// local pop cost (written out — no per-accept closure). Children
+	// that died while queued (client aborted with RST before anyone
+	// accepted) are reaped here and the dequeue retried: delivering
+	// them would hand the application a dead fd it can only close.
 	var child *tcp.Sock
 	clone := lex.clones[p.Core]
+dequeue:
 	if clone != nil {
 		// Fast path: lock-free check of the global queue first.
 		t.Charge(c.AtomicCheck)
@@ -339,6 +384,17 @@ func (p *Process) Accept(t *cpu.Task, fd int) (int, bool) {
 	if child == nil {
 		k.stats.AcceptEmpty++
 		return -1, false
+	}
+	if child.State == tcp.Closed {
+		// Aborted while un-accepted: its TCB is already unhashed
+		// (Destroy ran under the RST); releasing the would-be fd side
+		// lets the socket recycle. Retry the dequeue — real accept()
+		// never surfaces these.
+		e := ext(child)
+		e.appClosed = true
+		k.putSock(e)
+		child = nil
+		goto dequeue
 	}
 	if !k.faults.AllocOK(fault.SiteAccept, child.Tuple().Hash()) {
 		// Memory pressure: the child's file allocation fails. The

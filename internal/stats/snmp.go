@@ -21,6 +21,13 @@ type SNMP struct {
 	TSOSuperSegs     uint64 // TSO super-segments handed to the NIC
 	GROMergedSegs    uint64 // RX segments absorbed into GRO super-segments
 	CoalescedWakeups uint64 // ring arrivals absorbed by an armed IRQ-coalescing timer
+
+	RSTRcvd        uint64 // RST segments received (the invisible half of RSTSent)
+	ConnTimeouts   uint64 // active opens aborted after SYN retries exhausted (ETIMEDOUT)
+	Retries        uint64 // handshake (SYN / SYN-ACK) segments retransmitted
+	DrainedConns   uint64 // connections that finished normally while draining
+	AbortedOnDrain uint64 // connections RST-swept at a drain deadline
+	HostRestarts   uint64 // cold restarts of the machine or one of its workers
 }
 
 // Sub returns the counter deltas s - o.
@@ -37,6 +44,13 @@ func (s SNMP) Sub(o SNMP) SNMP {
 		TSOSuperSegs:     s.TSOSuperSegs - o.TSOSuperSegs,
 		GROMergedSegs:    s.GROMergedSegs - o.GROMergedSegs,
 		CoalescedWakeups: s.CoalescedWakeups - o.CoalescedWakeups,
+
+		RSTRcvd:        s.RSTRcvd - o.RSTRcvd,
+		ConnTimeouts:   s.ConnTimeouts - o.ConnTimeouts,
+		Retries:        s.Retries - o.Retries,
+		DrainedConns:   s.DrainedConns - o.DrainedConns,
+		AbortedOnDrain: s.AbortedOnDrain - o.AbortedOnDrain,
+		HostRestarts:   s.HostRestarts - o.HostRestarts,
 	}
 }
 
@@ -57,6 +71,13 @@ func (s SNMP) Add(o SNMP) SNMP {
 		TSOSuperSegs:     s.TSOSuperSegs + o.TSOSuperSegs,
 		GROMergedSegs:    s.GROMergedSegs + o.GROMergedSegs,
 		CoalescedWakeups: s.CoalescedWakeups + o.CoalescedWakeups,
+
+		RSTRcvd:        s.RSTRcvd + o.RSTRcvd,
+		ConnTimeouts:   s.ConnTimeouts + o.ConnTimeouts,
+		Retries:        s.Retries + o.Retries,
+		DrainedConns:   s.DrainedConns + o.DrainedConns,
+		AbortedOnDrain: s.AbortedOnDrain + o.AbortedOnDrain,
+		HostRestarts:   s.HostRestarts + o.HostRestarts,
 	}
 }
 
@@ -65,6 +86,9 @@ func (s SNMP) Format() string {
 	var b strings.Builder
 	b.WriteString("Tcp:\n")
 	fmt.Fprintf(&b, "    %d segments retransmitted (RetransSegs)\n", s.RetransSegs)
+	fmt.Fprintf(&b, "    %d handshake segments retransmitted (Retries)\n", s.Retries)
+	fmt.Fprintf(&b, "    %d resets received (RSTRcvd)\n", s.RSTRcvd)
+	fmt.Fprintf(&b, "    %d connections timed out in SYN_SENT (ConnTimeouts)\n", s.ConnTimeouts)
 	fmt.Fprintf(&b, "    %d SYNs to LISTEN sockets dropped (ListenDrops)\n", s.ListenDrops)
 	fmt.Fprintf(&b, "    %d SYN cookies sent (SynCookiesSent)\n", s.SynCookiesSent)
 	fmt.Fprintf(&b, "    %d SYN cookies received (SynCookiesRecv)\n", s.SynCookiesRecv)
@@ -76,5 +100,9 @@ func (s SNMP) Format() string {
 	fmt.Fprintf(&b, "    %d IRQ wakeups coalesced (CoalescedWakeups)\n", s.CoalescedWakeups)
 	b.WriteString("Mem:\n")
 	fmt.Fprintf(&b, "    %d socket allocation failures (AllocFails)\n", s.AllocFails)
+	b.WriteString("Lifecycle:\n")
+	fmt.Fprintf(&b, "    %d connections drained gracefully (DrainedConns)\n", s.DrainedConns)
+	fmt.Fprintf(&b, "    %d connections aborted at drain deadline (AbortedOnDrain)\n", s.AbortedOnDrain)
+	fmt.Fprintf(&b, "    %d host/worker restarts (HostRestarts)\n", s.HostRestarts)
 	return b.String()
 }

@@ -58,7 +58,12 @@ type Params struct {
 	MSS        int      // maximum segment size (payload bytes)
 	InitialRTO sim.Time // first retransmission timeout
 	MaxRetries int      // retransmissions before aborting
-	Backlog    int      // accept-queue limit for listen sockets
+	// SynRetries caps SYN retransmissions of an active open
+	// (tcp_syn_retries); exhaustion aborts the connect with
+	// ErrTimeout — the ETIMEDOUT the application sees — instead of
+	// the generic reset. 0 falls back to MaxRetries.
+	SynRetries int
+	Backlog    int // accept-queue limit for listen sockets
 	// SynBacklog bounds half-open (SYN_RCVD) children per listener;
 	// beyond it SYNs are dropped, or answered statelessly when
 	// SynCookies is on.
@@ -559,7 +564,11 @@ func enterTimeWait(env Env, t *cpu.Task, sk *Sock) {
 	env.StartTimeWait(t, sk)
 }
 
-func abort(env Env, t *cpu.Task, sk *Sock) {
+func abort(env Env, t *cpu.Task, sk *Sock) { abortWith(env, t, sk, ErrReset) }
+
+// abortWith tears the connection down, reporting reason to a pending
+// connect (ConnectDone distinguishes ECONNRESET from ETIMEDOUT).
+func abortWith(env Env, t *cpu.Task, sk *Sock, reason error) {
 	if sk.State == SynRcvd && sk.Parent != nil && sk.Parent.SynQueue > 0 {
 		sk.Parent.SynQueue--
 	}
@@ -568,7 +577,7 @@ func abort(env Env, t *cpu.Task, sk *Sock) {
 	sk.RcvFIN = true // readers see EOF
 	env.CancelRetransmit(t, sk)
 	if wasUsable {
-		env.ConnectDone(t, sk, ErrReset)
+		env.ConnectDone(t, sk, reason)
 	} else {
 		env.Readable(t, sk)
 	}
@@ -583,6 +592,12 @@ func Abort(env Env, t *cpu.Task, sk *Sock) { abort(env, t, sk) }
 // ErrReset is reported when a connection is aborted by RST or
 // retransmission exhaustion.
 var ErrReset = fmt.Errorf("tcp: connection reset")
+
+// ErrTimeout is reported when an active open gives up after
+// Params.SynRetries SYN retransmissions (the application's ETIMEDOUT),
+// distinct from ErrReset so callers can tell a refused connection from
+// a silent peer.
+var ErrTimeout = fmt.Errorf("tcp: connection timed out")
 
 // Send queues and transmits application data, segmenting at MSS.
 // Caller holds the slock. Returns the number of bytes sent.
@@ -669,7 +684,17 @@ func RetransmitTimeout(env Env, t *cpu.Task, sk *Sock) {
 		return
 	}
 	sk.retries++
-	if sk.retries > sk.Params.MaxRetries {
+	limit := sk.Params.MaxRetries
+	if sk.State == SynSent && sk.Params.SynRetries > 0 {
+		limit = sk.Params.SynRetries
+	}
+	if sk.retries > limit {
+		if sk.State == SynSent {
+			// SYN retries exhausted: the peer never answered. Surface
+			// ETIMEDOUT instead of leaving the connect hanging.
+			abortWith(env, t, sk, ErrTimeout)
+			return
+		}
 		abort(env, t, sk)
 		return
 	}

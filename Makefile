@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint vet allocgate shardgate offloadgate lifegate test bench bench-go figures quick-figures faults examples clean
+.PHONY: all build lint vet allocgate fsmgate shardgate offloadgate lifegate test bench bench-go figures quick-figures faults examples clean
 
 all: build test
 
@@ -35,6 +35,18 @@ vet:
 # (ceilings, notes and corpus fixture entries are preserved).
 allocgate:
 	go run ./cmd/fsvet -root . -alloc-cross-check -bench-out BENCH_allocgate.json
+
+# FSM gate: the fsvet fsm pass statically extracts every TCP
+# state-transition site and diffs the relation against the committed
+# spec (internal/vet/fsmspec.go); the cross-check then replays the fsm
+# experiment mix under the runtime transition tracer and fails if any
+# observed transition has no static site (analyzer bug) or the mix
+# covers < 90% of the spec's non-defensive edges. Refreshes the
+# committed observed matrix (FSMGRAPH_observed.json) — the mix is
+# deterministic, so the file only moves when TCP behaviour does.
+fsmgate:
+	go run ./cmd/fsvet -root . -baseline .fsvet-baseline.json \
+		-fsm-cross-check -write-fsmgraph FSMGRAPH_observed.json
 
 # Shard gate: the conservative-lookahead engine's equality suite under
 # the race detector — engine unit tests (parallel == serial traces,
@@ -71,7 +83,7 @@ lifegate:
 	go test -race -run 'TestLifecycle' ./internal/app
 	go run ./cmd/fsbench lifecycle
 
-test: lint vet allocgate lifegate
+test: lint vet allocgate fsmgate lifegate
 	go test ./...
 
 # Full test run recorded to test_output.txt (what CI would archive).

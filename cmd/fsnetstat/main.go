@@ -21,6 +21,8 @@ import (
 	"fastsocket/internal/lock"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
+	"fastsocket/internal/stats"
+	"fastsocket/internal/tcp"
 	"fastsocket/internal/trace"
 )
 
@@ -32,6 +34,7 @@ func main() {
 		pcapPath  = flag.String("pcap", "", "also dump the packet trace to this file (tcpdump/wireshark readable)")
 		faultSpec = flag.String("faults", "", "fault plan, e.g. loss=0.01,ring=256,allocfail=0.001 (exercises the SNMP counters)")
 		lockgraph = flag.Bool("lockgraph", false, "run with lockdep enabled and print the observed lock-order graph as JSON")
+		fsmgraph  = flag.Bool("fsmgraph", false, "print the observed TCP state-transition matrix (sorted edges with counts) as JSON")
 		offloads  = flag.Bool("offloads", false, "enable NIC offloads (TSO+GRO+IRQ coalescing) so the Dev counters are live")
 	)
 	flag.Parse()
@@ -98,6 +101,15 @@ func main() {
 	cli := app.NewHTTPLoad(loop, netw, lcfg)
 	cli.Start()
 	loop.RunUntil(sim.Time(*runMS) * sim.Millisecond)
+
+	if *fsmgraph {
+		names := make([]string, tcp.NumStates)
+		for i := range names {
+			names[i] = tcp.State(i).String()
+		}
+		os.Stdout.Write(stats.FormatEdges(k.FSMTrace().Edges(names)))
+		return
+	}
 
 	if *lockgraph {
 		if v := lock.LockdepViolations(); len(v) != 0 {

@@ -1,16 +1,19 @@
 // Command fsvet runs the types-aware analysis suite over the module:
-// whole-program type-check, eight interprocedural passes, and the
+// whole-program type-check, the interprocedural passes, and the
 // static↔runtime cross-checks (lockdep order graph, allocation
-// ceilings).
+// ceilings, TCP state-machine coverage).
 //
 //	fsvet [-root dir] [-json] [-baseline file] [-lockgraph]
 //	      [-lockdep-cross-check] [-write-observed file]
-//	      [-alloc-cross-check] [-write-allocbudget] [-bench-out file]
+//	      [-alloc-cross-check] [-write-allocbudget]
+//	      [-fsm-cross-check] [-write-fsmgraph file] [-bench-out file]
 //
 // Exit status is 1 if any unbaselined finding remains, the lockdep
 // cross-check sees an observed lock-order edge the static graph
-// missed (an analyzer bug), or the alloc cross-check measures more
-// runtime allocations than the committed budget's ceilings allow;
+// missed (an analyzer bug), the alloc cross-check measures more
+// runtime allocations than the committed budget's ceilings allow, or
+// the fsm cross-check observes a TCP state transition outside the
+// statically extracted relation / fails the spec coverage floor;
 // 0 otherwise.
 package main
 
@@ -30,6 +33,7 @@ import (
 	"fastsocket/internal/lock"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
+	"fastsocket/internal/stats"
 	"fastsocket/internal/vet"
 )
 
@@ -48,7 +52,10 @@ func main() {
 			"regenerate "+vet.AllocBudgetFile+" from the current hot-path scan (preserving ceilings and notes) and exit")
 		offloads = flag.Bool("offloads", false,
 			"with -alloc-cross-check: also measure the bulk workload with TSO/GRO/IRQ-coalescing enabled against the same macro ceiling")
-		benchOut = flag.String("bench-out", "", "write analysis timing JSON to this file")
+		fsmCheck = flag.Bool("fsm-cross-check", false,
+			"replay the fsm experiment mix under the runtime transition tracer and diff observed vs static TCP state transitions")
+		writeFSMGraph = flag.String("write-fsmgraph", "", "write the observed TCP transition matrix JSON to this file (implies -fsm-cross-check)")
+		benchOut      = flag.String("bench-out", "", "write analysis timing JSON to this file")
 	)
 	flag.Parse()
 
@@ -75,7 +82,10 @@ func main() {
 		return
 	}
 
+	load := time.Since(start)
+	passStart := time.Now()
 	res := vet.Run(prog)
+	passes := time.Since(passStart)
 	analysis := time.Since(start)
 
 	if *lockgraph {
@@ -106,7 +116,7 @@ func main() {
 
 	fail := false
 	if *jsonOut {
-		out := &vet.Result{Findings: findings, LockGraph: res.LockGraph}
+		out := &vet.Result{Findings: findings, LockGraph: res.LockGraph, FSMGraph: res.FSMGraph}
 		os.Stdout.Write(out.JSON())
 	} else {
 		for _, f := range findings {
@@ -142,6 +152,37 @@ func main() {
 				e.Outer, e.Inner)
 		}
 		if !cc.OK() {
+			fail = true
+		}
+	}
+
+	var fsmSeconds float64
+	var fsmObserved int
+	if *fsmCheck || *writeFSMGraph != "" {
+		fsmStart := time.Now()
+		spec := vet.TCPSpec()
+		mix := runFSMMix()
+		fsmSeconds = time.Since(fsmStart).Seconds()
+		observed := mix.Edges(spec.States)
+		fsmObserved = len(observed)
+		if *writeFSMGraph != "" {
+			if err := os.WriteFile(*writeFSMGraph, stats.FormatEdges(observed), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		cross := vet.FSMCross(spec, res.FSMGraph, observed)
+		fmt.Fprintln(os.Stderr, cross.Summary())
+		for _, s := range cross.Unexpected {
+			fmt.Fprintf(os.Stderr, "fsvet: ANALYZER BUG: %s\n", s)
+		}
+		for _, s := range cross.Uncovered {
+			fmt.Fprintf(os.Stderr, "fsvet: note: spec transition never observed: %s\n", s)
+		}
+		if !cross.OK(vet.FSMCoverageFloor) {
+			fmt.Fprintf(os.Stderr,
+				"fsvet: FSM GATE FAILED: observed transitions must be a subset of the static relation and cover >= %.0f%% of its non-defensive edges\n",
+				vet.FSMCoverageFloor*100)
 			fail = true
 		}
 	}
@@ -190,14 +231,29 @@ func main() {
 		for _, ip := range prog.Paths {
 			files += len(prog.Files[ip])
 		}
+		// Honest before/after for the concurrent pass scheduler: rerun
+		// the same passes serially on the already-loaded program and
+		// report both pass-only wall times side by side (load/type-check
+		// time is shared and reported separately).
+		serialStart := time.Now()
+		vet.RunSerial(prog)
+		serial := time.Since(serialStart)
 		bench := map[string]any{
-			"tool":               "fsvet",
-			"packages":           len(prog.Paths),
-			"files":              files,
-			"analysis_seconds":   analysis.Seconds(),
-			"crosscheck_seconds": ccSeconds,
-			"findings":           len(findings),
-			"static_lock_edges":  len(res.LockGraph),
+			"tool":                  "fsvet",
+			"packages":              len(prog.Paths),
+			"files":                 files,
+			"analysis_seconds":      analysis.Seconds(),
+			"load_seconds":          load.Seconds(),
+			"passes_seconds":        passes.Seconds(),
+			"passes_serial_seconds": serial.Seconds(),
+			"crosscheck_seconds":    ccSeconds,
+			"findings":              len(findings),
+			"static_lock_edges":     len(res.LockGraph),
+			"static_fsm_edges":      len(res.FSMGraph),
+		}
+		if *fsmCheck || *writeFSMGraph != "" {
+			bench["fsmcheck_seconds"] = fsmSeconds
+			bench["observed_fsm_edges"] = fsmObserved
 		}
 		if *allocCheck {
 			bench["macro_allocs_per_event"] = macroAllocs

@@ -196,6 +196,24 @@ func (a *Analyzer) Run() []Diagnostic {
 					out = append(out, d)
 				}
 			}
+
+			// Stale waivers: a directive that suppressed nothing protects
+			// nothing and must go. Only judged for rules that actually ran
+			// on this file — determinism and units skip test files and
+			// unrestricted packages, so their directives there are merely
+			// inert, not provably stale.
+			ranRule := map[string]bool{RuleLocks: true}
+			if restricted(pkg.Path) && !isTest {
+				ranRule[RuleDeterminism] = true
+				ranRule[RuleUnits] = true
+			}
+			for _, td := range sup.tracked {
+				if ranRule[td.key.rule] && !sup.used[td.key] {
+					out = append(out, a.diag(td.pos, RuleDirective,
+						"stale //fslint:ignore %s directive: no %s finding on this line or the next to suppress; remove it",
+						td.key.rule, td.key.rule))
+				}
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -220,9 +238,13 @@ func (a *Analyzer) diag(pos token.Pos, rule, format string, args ...any) Diagnos
 
 // --- Suppression directives ------------------------------------------
 
-// suppressor records which (line, rule) pairs are silenced in a file.
+// suppressor records which (line, rule) pairs are silenced in a file,
+// and which directives actually suppressed something (the rest are
+// stale and themselves diagnosed).
 type suppressor struct {
-	lines map[suppKey]bool
+	lines   map[suppKey]bool
+	used    map[suppKey]bool
+	tracked []trackedDirective
 }
 
 type suppKey struct {
@@ -230,10 +252,25 @@ type suppKey struct {
 	rule string
 }
 
-// suppressed reports whether a diagnostic at the given line is
-// silenced by a directive on the same line or the line above.
+// trackedDirective is one well-formed //fslint:ignore, kept for
+// staleness reporting.
+type trackedDirective struct {
+	key suppKey
+	pos token.Pos
+}
+
+// suppressed reports (and records, for staleness) whether a diagnostic
+// at the given line is silenced by a directive on the same line or the
+// line above.
 func (s suppressor) suppressed(line int, rule string) bool {
-	return s.lines[suppKey{line, rule}] || s.lines[suppKey{line - 1, rule}]
+	hit := false
+	for _, k := range []suppKey{{line, rule}, {line - 1, rule}} {
+		if s.lines[k] {
+			s.used[k] = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 const directivePrefix = "fslint:ignore"
@@ -242,7 +279,7 @@ const directivePrefix = "fslint:ignore"
 // name a known rule and give a non-empty reason; malformed directives
 // are themselves diagnostics (they silently protect nothing).
 func (a *Analyzer) collectDirectives(file *ast.File) (suppressor, []Diagnostic) {
-	sup := suppressor{lines: map[suppKey]bool{}}
+	sup := suppressor{lines: map[suppKey]bool{}, used: map[suppKey]bool{}}
 	var diags []Diagnostic
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
@@ -267,7 +304,9 @@ func (a *Analyzer) collectDirectives(file *ast.File) (suppressor, []Diagnostic) 
 				continue
 			}
 			line := a.fset.Position(c.Pos()).Line
-			sup.lines[suppKey{line, fields[0]}] = true
+			k := suppKey{line, fields[0]}
+			sup.lines[k] = true
+			sup.tracked = append(sup.tracked, trackedDirective{key: k, pos: c.Pos()})
 		}
 	}
 	return sup, diags

@@ -207,6 +207,37 @@ func f(m map[string]int) {
 	expect(t, got)
 }
 
+func TestStaleDirectiveFlagged(t *testing.T) {
+	// A well-formed directive that suppresses nothing is itself a
+	// finding; one that suppresses stays silent.
+	got := run(t, restrictedPath, `package sim
+func f(m map[string]int) int {
+	total := 0
+	//fslint:ignore determinism summing ints is order-independent
+	for _, v := range m {
+		total += v
+	}
+	//fslint:ignore determinism left behind after the loop below was fixed
+	return total
+}
+`)
+	expect(t, got, "stale //fslint:ignore determinism directive")
+}
+
+func TestStaleDirectiveOnlyJudgedForRulesThatRan(t *testing.T) {
+	// determinism does not run on test files or unrestricted packages:
+	// an unused directive there is inert, not provably stale. locks runs
+	// everywhere, so its unused directives are always stale.
+	got := runPkgs(t, []fixture{{path: restrictedPath, name: "fix_test.go", src: `package sim
+func f() {
+	//fslint:ignore determinism inert in a test file, not judged
+	//fslint:ignore locks nothing locks-related here
+	_ = 0
+}
+`}})
+	expect(t, got, "stale //fslint:ignore locks directive")
+}
+
 func TestDirectiveValidation(t *testing.T) {
 	got := run(t, restrictedPath, `package sim
 //fslint:ignore

@@ -186,6 +186,10 @@ type Kernel struct {
 	// separate goroutines, so pools are never shared across loops.
 	pool  *netproto.PacketPool
 	socks *tcp.SockPool
+	// fsm is the runtime TCP transition matrix, installed into the
+	// cloned tcp.Params so every Sock.SetState of this kernel lands
+	// here (the dynamic half of the fsvet fsm cross-check).
+	fsm *stats.FSMTrace
 	//fsvet:percore extension free list shards per-core with the engine (per-CPU slab caches); today one event loop serializes access
 	extFree []*sockExt
 
@@ -306,6 +310,8 @@ func New(loop *sim.Loop, cfg Config) *Kernel {
 	tcpp := *k.cfg.TCP
 	tcpp.Pool = k.pool
 	tcpp.Socks = k.socks
+	k.fsm = &stats.FSMTrace{}
+	tcpp.Trace = k.fsm
 	if cfg.TSO {
 		// An exact MSS multiple, so the NIC's lazy wire-split
 		// reproduces the offloads-off segment sequence bit-for-bit.
@@ -348,6 +354,9 @@ func (k *Kernel) Tables() *core.Tables { return k.tables }
 
 // Stats returns a snapshot of the kernel counters.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// FSMTrace returns the kernel's runtime TCP transition matrix.
+func (k *Kernel) FSMTrace() *stats.FSMTrace { return k.fsm }
 
 // Faults returns the fault-injection engine (nil when no plan is
 // configured; a nil engine is safe to call).

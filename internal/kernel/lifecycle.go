@@ -178,7 +178,7 @@ func (k *Kernel) dropListeners(t *cpu.Task, silent, drain bool) {
 		lex.nextWake = 0
 		k.tables.GlobalListen.Remove(t, lsk)
 		k.abortBacklog(t, lsk, silent, drain)
-		lsk.State = tcp.Closed
+		lsk.SetState(tcp.Closed)
 	}
 	k.allListeners = k.allListeners[:0]
 }
@@ -255,8 +255,14 @@ func (k *Kernel) hostRestart(t *cpu.Task) {
 	k.life = lifeUp
 	k.stats.HostRestarts++
 	for _, lsk := range k.bootListeners {
+		if lsk.State != tcp.Closed {
+			// dropListeners closed every boot listener when the host
+			// went down; anything else is still registered and must
+			// not be double-inserted.
+			continue
+		}
 		lex := ext(lsk).listen
-		lsk.State = tcp.Listen
+		lsk.SetState(tcp.Listen)
 		lsk.AcceptQueue = lsk.AcceptQueue[:0]
 		lsk.SynQueue = 0
 		lex.clones = map[int]*tcp.Sock{}
@@ -385,7 +391,7 @@ func (k *Kernel) detachWorkerListeners(t *cpu.Task, p *Process, drain bool) {
 			// The worker's own SO_REUSEPORT listener dies with it.
 			k.tables.GlobalListen.Remove(t, lsk)
 			k.abortBacklog(t, lsk, false, drain)
-			lsk.State = tcp.Closed
+			lsk.SetState(tcp.Closed)
 			continue
 		}
 		kept = append(kept, lsk)

@@ -47,7 +47,6 @@ func TestLockdepCatchesDoubleAcquire(t *testing.T) {
 	defer DisableLockdep()
 	l := New("dbl", 0)
 	c := &fakeCtx{}
-	//fslint:ignore locks intentional double acquire to exercise lockdep
 	l.Acquire(c)
 	func() {
 		defer func() {

@@ -19,6 +19,7 @@ import (
 	"fastsocket/internal/lock"
 	"fastsocket/internal/netproto"
 	"fastsocket/internal/sim"
+	"fastsocket/internal/stats"
 )
 
 // State is a TCP connection state (RFC 793 names).
@@ -38,6 +39,9 @@ const (
 	Closing
 	TimeWait
 )
+
+// NumStates is the number of TCP states (TimeWait is the last).
+const NumStates = int(TimeWait) + 1
 
 var stateNames = [...]string{
 	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
@@ -89,6 +93,12 @@ type Params struct {
 	// Socks recycles TCP control blocks for the connection churn of
 	// short-lived workloads. nil degrades to plain allocation.
 	Socks *SockPool
+
+	// Trace, when non-nil, receives every state transition made
+	// through Sock.SetState — the kernel installs its per-kernel
+	// matrix here so runtime behaviour can be diffed against the
+	// fsvet fsm pass's static transition relation.
+	Trace *stats.FSMTrace
 }
 
 // DefaultParams mirrors conventional Linux settings scaled for the
@@ -203,6 +213,19 @@ func (sk *Sock) Tuple() netproto.FourTuple {
 	return netproto.FourTuple{Src: sk.Remote, Dst: sk.Local}
 }
 
+// SetState performs a TCP state transition, feeding the kernel's
+// runtime transition matrix when one is installed (the dynamic half of
+// the fsvet fsm cross-check). Every lifecycle transition in the module
+// goes through here; only birth sites (NewSock, Reinit) write the
+// field directly, because a recycled block coming off the free list is
+// not a protocol transition.
+func (sk *Sock) SetState(s State) {
+	if tr := sk.Params.Trace; tr != nil {
+		tr.Record(int(sk.State), int(s))
+	}
+	sk.State = s //fsvet:shared callers hold the slock except the deliberately lockless cookie path (AcceptCookieACK); runtime lockdep is the backstop
+}
+
 // NewSock returns a CLOSED socket with its slock and cache lines
 // initialized.
 func NewSock(params *Params, slockBounce sim.Time) *Sock {
@@ -304,7 +327,7 @@ func ConnectStart(env Env, t *cpu.Task, sk *Sock, isn uint32) {
 		panic("tcp: connect on " + sk.State.String() + " socket")
 	}
 	sk.SndNxt, sk.SndUna = isn, isn
-	sk.State = SynSent
+	sk.SetState(SynSent)
 	p := sk.mkseg(netproto.SYN, nil, false)
 	sk.track(p)
 	env.Transmit(t, sk, p)
@@ -346,7 +369,7 @@ func ListenInput(env Env, t *cpu.Task, listener *Sock, p *netproto.Packet, isn u
 	child.Local = p.Dst
 	child.Remote = p.Src
 	child.HomeCore = t.CoreID()
-	child.State = SynRcvd
+	child.SetState(SynRcvd)
 	child.Parent = listener
 	child.RcvNxt = p.Seq + 1
 	child.SndNxt, child.SndUna = isn, isn
@@ -422,7 +445,7 @@ func inputSynSent(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 	}
 	sk.RcvNxt = p.Seq + 1
 	ackUpdate(env, t, sk, p)
-	sk.State = Established
+	sk.SetState(Established)
 	env.Transmit(t, sk, sk.mkseg(0, nil, true))
 	env.ConnectDone(t, sk, nil)
 }
@@ -441,7 +464,7 @@ func inputSynRcvd(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 		sk.DroppedSegs++
 		return
 	}
-	sk.State = Established
+	sk.SetState(Established)
 	if sk.Parent != nil && sk.Parent.SynQueue > 0 {
 		sk.Parent.SynQueue--
 	}
@@ -479,7 +502,7 @@ func inputStream(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 
 	// In FIN_WAIT_1, our FIN being acknowledged advances the close.
 	if sk.State == FinWait1 && acked && sk.SndUna == sk.SndNxt {
-		sk.State = FinWait2
+		sk.SetState(FinWait2)
 	}
 
 	advanced := false
@@ -513,7 +536,7 @@ func inputStream(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 		advanced = true
 		switch sk.State {
 		case Established:
-			sk.State = CloseWait
+			sk.SetState(CloseWait)
 		case FinWait1:
 			if sk.SndUna == sk.SndNxt {
 				// Our FIN already acknowledged in this segment.
@@ -522,7 +545,7 @@ func inputStream(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 				env.Readable(t, sk)
 				return
 			}
-			sk.State = Closing
+			sk.SetState(Closing)
 		case FinWait2:
 			env.Transmit(t, sk, sk.mkseg(0, nil, true))
 			enterTimeWait(env, t, sk)
@@ -543,7 +566,7 @@ func inputClosingSide(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 	switch sk.State {
 	case LastAck:
 		if acked && sk.SndUna == sk.SndNxt {
-			sk.State = Closed
+			sk.SetState(Closed)
 			env.Destroy(t, sk)
 		}
 	case Closing:
@@ -559,7 +582,7 @@ func inputClosingSide(env Env, t *cpu.Task, sk *Sock, p *netproto.Packet) {
 }
 
 func enterTimeWait(env Env, t *cpu.Task, sk *Sock) {
-	sk.State = TimeWait
+	sk.SetState(TimeWait)
 	env.CancelRetransmit(t, sk)
 	env.StartTimeWait(t, sk)
 }
@@ -573,7 +596,7 @@ func abortWith(env Env, t *cpu.Task, sk *Sock, reason error) {
 		sk.Parent.SynQueue--
 	}
 	wasUsable := sk.State == SynSent
-	sk.State = Closed
+	sk.SetState(Closed)
 	sk.RcvFIN = true // readers see EOF
 	env.CancelRetransmit(t, sk)
 	if wasUsable {
@@ -656,24 +679,24 @@ func Close(env Env, t *cpu.Task, sk *Sock) {
 		sk.track(fin)
 		env.Transmit(t, sk, fin)
 		env.ArmRetransmit(t, sk, sk.Params.InitialRTO)
-		sk.State = FinWait1
+		sk.SetState(FinWait1)
 	case CloseWait:
 		fin := sk.mkseg(netproto.FIN, nil, true)
 		sk.track(fin)
 		env.Transmit(t, sk, fin)
 		env.ArmRetransmit(t, sk, sk.Params.InitialRTO)
-		sk.State = LastAck
+		sk.SetState(LastAck)
 	case SynSent, SynRcvd:
 		// Abort the half-open connection silently (the kernel sends
 		// RST for SYN_RCVD; our peers give up via retransmit limits).
 		if sk.State == SynRcvd && sk.Parent != nil && sk.Parent.SynQueue > 0 {
 			sk.Parent.SynQueue--
 		}
-		sk.State = Closed
+		sk.SetState(Closed)
 		env.CancelRetransmit(t, sk)
 		env.Destroy(t, sk)
 	case Listen, Closed:
-		sk.State = Closed
+		sk.SetState(Closed)
 	}
 }
 
@@ -723,7 +746,7 @@ func TimeWaitExpire(env Env, t *cpu.Task, sk *Sock) {
 	if sk.State != TimeWait {
 		return
 	}
-	sk.State = Closed
+	sk.SetState(Closed)
 	env.Destroy(t, sk)
 }
 
@@ -763,7 +786,7 @@ func AcceptCookieACK(env Env, t *cpu.Task, listener *Sock, p *netproto.Packet, s
 	child.Local = p.Dst
 	child.Remote = p.Src
 	child.HomeCore = t.CoreID()
-	child.State = Established
+	child.SetState(Established)
 	child.Parent = listener
 	child.RcvNxt = p.Seq
 	child.SndNxt, child.SndUna = p.Ack, p.Ack

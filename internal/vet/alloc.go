@@ -103,7 +103,7 @@ type allocSite struct {
 func (v *vetter) checkAlloc(cg *callGraph, hot map[*types.Func]bool) {
 	budget, err := LoadAllocBudget(v.prog.Root)
 	if err != nil {
-		v.findings = append(v.findings, Finding{File: "(alloc budget)", Pass: PassAlloc, Msg: err.Error()})
+		v.reportGraph(PassAlloc, "(alloc budget)", "%s", err.Error())
 		budget = &AllocBudget{Functions: map[string]AllocBudgetEntry{}}
 	}
 
@@ -154,8 +154,8 @@ func (v *vetter) checkAlloc(cg *callGraph, hot map[*types.Func]bool) {
 		if seen[k] || strings.Contains(k, "vetcorpus_") {
 			continue
 		}
-		v.findings = append(v.findings, Finding{File: "(alloc budget)", Pass: PassAlloc,
-			Msg: fmt.Sprintf("budget entry %q does not match any hot-path function — regenerate %s", k, AllocBudgetFile)})
+		v.reportGraph(PassAlloc, "(alloc budget)",
+			"budget entry %q does not match any hot-path function — regenerate %s", k, AllocBudgetFile)
 	}
 }
 

@@ -1,0 +1,85 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"fastsocket/internal/stats"
+)
+
+// FSMCoverageFloor is the fraction of the spec's non-defensive
+// transitions the committed experiment mix must provoke for the
+// cross-check to pass. Defensive edges (unreachable guards kept for
+// robustness) are exempt; everything else is a documented behavior the
+// mix is expected to witness.
+const FSMCoverageFloor = 0.9
+
+// FSMCrossResult diffs an observed runtime transition matrix against
+// the static extraction and the spec: the observed relation must be a
+// subset of the static one, and the experiment mix must exercise at
+// least CoverageFloor of the spec's non-defensive transitions.
+type FSMCrossResult struct {
+	// Unexpected are observed transitions with no static site — the
+	// runtime did something the extraction says is impossible.
+	Unexpected []string
+	// Uncovered are non-defensive spec transitions the mix never
+	// provoked.
+	Uncovered []string
+	// Covered / Required are the coverage-gate counts.
+	Covered, Required int
+}
+
+// Coverage returns the fraction of required transitions observed.
+func (r *FSMCrossResult) Coverage() float64 {
+	if r.Required == 0 {
+		return 1
+	}
+	return float64(r.Covered) / float64(r.Required)
+}
+
+// OK reports whether the cross-check passes at the given floor.
+func (r *FSMCrossResult) OK(floor float64) bool {
+	return len(r.Unexpected) == 0 && r.Coverage() >= floor
+}
+
+// Summary is the one-line human rendering of the diff.
+func (r *FSMCrossResult) Summary() string {
+	return fmt.Sprintf("fsvet: fsm cross-check: %d/%d non-defensive spec transitions observed (%.0f%%), %d observed edge(s) outside the static relation",
+		r.Covered, r.Required, r.Coverage()*100, len(r.Unexpected))
+}
+
+// FSMCross checks observed edges (as dumped by stats.FSMTrace.Edges
+// with the spec's state names) against the static graph for spec.Type.
+func FSMCross(spec *FSMSpec, graph []FSMTransition, observed []stats.FSMEdge) *FSMCrossResult {
+	static := map[string]bool{}
+	for _, tr := range graph {
+		if tr.Type == spec.Type {
+			static[tr.From+" -> "+tr.To] = true
+		}
+	}
+	seen := map[string]bool{}
+	res := &FSMCrossResult{}
+	for _, e := range observed {
+		key := e.From + " -> " + e.To
+		seen[key] = true
+		if !static[key] {
+			res.Unexpected = append(res.Unexpected,
+				fmt.Sprintf("%s (count %d): observed at runtime but no static site reaches it", key, e.Count))
+		}
+	}
+	for _, tr := range spec.Transitions {
+		if tr.Defensive {
+			continue
+		}
+		res.Required++
+		key := spec.StateName(tr.From) + " -> " + spec.StateName(tr.To)
+		if seen[key] {
+			res.Covered++
+		} else {
+			res.Uncovered = append(res.Uncovered, fmt.Sprintf("%s (%s)", key, tr.Why))
+		}
+	}
+	sort.Strings(res.Unexpected)
+	sort.Strings(res.Uncovered)
+	return res
+}

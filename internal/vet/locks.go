@@ -1114,11 +1114,9 @@ func (la *lockAnalysis) reportInversions() {
 				}
 			}
 		}
-		la.v.findings = append(la.v.findings, Finding{
-			File: "(lock-order graph)", Pass: PassLockOrder,
-			Msg: fmt.Sprintf("potential lock-order inversion among classes %v: %s",
-				comp, joinStrings(detail, "; ")),
-		})
+		la.v.reportGraph(PassLockOrder, "(lock-order graph)",
+			"potential lock-order inversion among classes %v: %s",
+			comp, joinStrings(detail, "; "))
 	}
 }
 

@@ -1,0 +1,127 @@
+// Package corpus (mounted as fastsocket/internal/kernel/vetcorpus_fsm)
+// exercises every finding kind of the fsm pass against the committed
+// corpus machine (fsmspec.go's corpusSpec): CState with states IDLE,
+// RUN, DONE, GHOST; birth IDLE; legal edges IDLE->RUN, RUN->DONE,
+// DONE->IDLE (defensive), and DONE->GHOST — the last deliberately
+// unimplemented so the missing-site graph finding fires.
+package corpus
+
+// CState is the corpus state type named by corpusSpec.
+type CState int
+
+// The corpus machine's states, value-indexed like tcp.State.
+const (
+	IDLE CState = iota
+	RUN
+	DONE
+	GHOST
+)
+
+// CSock owns a CState field, which makes it an fsm owner struct.
+type CSock struct {
+	State CState
+	N     int
+}
+
+// NewCSock is a birth function: fresh owners carry the birth state.
+func NewCSock() *CSock { return &CSock{} }
+
+// BadBirth constructs an owner in a non-birth state.
+func BadBirth() *CSock {
+	return &CSock{State: RUN} // want "constructed in state RUN; .*birth state is IDLE"
+}
+
+// setState is the corpus setter; its call sites are transition sites.
+func (c *CSock) setState(s CState) {
+	c.State = s
+}
+
+// Start is a clean spec'd transition through the setter: the guard
+// proves IDLE, the constant argument names RUN.
+func Start(c *CSock) {
+	if c.State != IDLE {
+		return
+	}
+	c.setState(RUN)
+}
+
+// Finish is a clean spec'd transition through a direct guarded store.
+func Finish(c *CSock) {
+	if c.State == RUN {
+		c.State = DONE
+	}
+}
+
+// Recycle exercises the defensive spec edge DONE -> IDLE.
+func Recycle(c *CSock) {
+	if c.State != DONE {
+		return
+	}
+	c.State = IDLE
+}
+
+// Rewind is not in the spec: RUN -> IDLE must be reported.
+func Rewind(c *CSock) {
+	if c.State != RUN {
+		return
+	}
+	c.State = IDLE // want "transition RUN -> IDLE is not in the .*CState spec"
+}
+
+// Skip is also unspec'd (IDLE -> DONE) but carries an audited waiver:
+// the directive must suppress the finding and must not be reported
+// stale.
+func Skip(c *CSock) {
+	if c.State != IDLE {
+		return
+	}
+	//fsvet:fsm corpus: audited shortcut, present to prove waivers suppress
+	c.setState(DONE)
+}
+
+// Promote stores a computed value the pass cannot resolve.
+func Promote(c *CSock) {
+	next := c.State + 1
+	c.State = next // want "state stored from a non-constant expression"
+}
+
+// PromoteVia passes a computed target through the setter.
+func PromoteVia(c *CSock, s CState) {
+	c.setState(s + 1) // want "state transition with a non-constant target state"
+}
+
+func pair() (CState, int) { return DONE, 1 }
+
+// Multi splits a tuple into the state field.
+func Multi(c *CSock) {
+	c.State, c.N = pair() // want "state stored from a multi-value expression"
+}
+
+// Bump mutates the state arithmetically.
+func Bump(c *CSock) {
+	c.State++ // want "cannot be checked against the spec: use an explicit constant store"
+}
+
+// Stale carries waivers that suppress nothing this run; both must be
+// reported stale. (The trailing want annotations double as the audit
+// reasons, keeping the directives well-formed.)
+func Stale(c *CSock) {
+	if c.State != RUN {
+		return
+	}
+	//fsvet:fsm corpus: obsolete waiver left after its site was fixed // want "stale //fsvet:fsm directive"
+	c.State = DONE
+	//fsvet:ignore fsm corpus: obsolete ignore left after its site was fixed // want "stale //fsvet:ignore fsm directive"
+}
+
+// Reasonless directive below: protects nothing and is reported as
+// malformed (asserted explicitly in vet_test.go — a want comment here
+// would become the directive's reason).
+//
+//fsvet:fsm
+func Reasonless(c *CSock) {
+	if c.State != DONE {
+		return
+	}
+	c.State = IDLE
+}

@@ -44,17 +44,36 @@
 //     path), so no code can route a cross-shard effect around the
 //     deterministic barrier mailboxes. A marked function that never
 //     posts is a stale marker, also reported.
+//   - fsm: a flow-sensitive extraction of the TCP state machine. Every
+//     assignment to a Sock.State field (direct stores, setter calls,
+//     birth-state composite literals) becomes a static transition with
+//     its guarded prior states and flag conditions recovered from the
+//     enclosing control flow; the relation is diffed both ways against
+//     the committed spec in fsmspec.go. A transition with no spec edge
+//     is a finding (add it to the spec with a justification or waive
+//     it with //fsvet:fsm <reason>); a spec edge with no static site
+//     means the implementation lost the edge or the spec is stale. The
+//     extracted relation (Result.FSMGraph) is also the reference for
+//     the runtime cross-check: fsvet -fsm-cross-check replays the fsm
+//     experiment mix under the stats.FSMTrace transition tracer and
+//     fails if any observed transition lacks a static site or the mix
+//     covers less than FSMCoverageFloor of the spec's non-defensive
+//     edges.
 //
 // Findings are suppressible per line with
 //
 //	//fsvet:ignore <pass> <reason>
 //
-// on the finding's line or the line above. Existing //fslint:ignore
+// on the finding's line or the line above (fsm findings also accept
+// the shorthand //fsvet:fsm <reason>). Existing //fslint:ignore
 // directives are honored too (determinism covers determinism+reach,
 // locks covers lockorder, units covers units), so a waiver audited for
-// fslint does not need to be duplicated. A committed baseline file
-// (JSON, same shape as -json output) can park pre-existing findings;
-// the repository's baseline is kept empty.
+// fslint does not need to be duplicated. Waivers must earn their keep:
+// a directive that suppresses nothing — no finding on its line or the
+// next — is itself reported as stale, so audited exceptions cannot
+// outlive the code they excused. A committed baseline file (JSON, same
+// shape as -json output) can park pre-existing findings; the
+// repository's baseline is kept empty.
 package vet
 
 import (
@@ -64,6 +83,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Pass names, as used in findings and //fsvet:ignore directives.
@@ -77,6 +97,7 @@ const (
 	PassAlloc       = "alloc"
 	PassShard       = "shard"
 	PassMailbox     = "mailbox"
+	PassFSM         = "fsm"
 	// PassDirective flags malformed fsvet directives themselves.
 	PassDirective = "fsvet"
 )
@@ -91,6 +112,7 @@ var knownPasses = map[string]bool{
 	PassAlloc:       true,
 	PassShard:       true,
 	PassMailbox:     true,
+	PassFSM:         true,
 }
 
 // fslintRuleCovers maps an //fslint:ignore rule to the fsvet passes it
@@ -122,10 +144,12 @@ func (f Finding) key() string {
 }
 
 // Result is a complete fsvet run: the findings plus the static
-// lock-order graph (for the lockdep cross-check).
+// lock-order graph (for the lockdep cross-check) and the static TCP
+// transition relation (for the fsm cross-check).
 type Result struct {
-	Findings  []Finding    `json:"findings"`
-	LockGraph []StaticEdge `json:"lock_graph"`
+	Findings  []Finding       `json:"findings"`
+	LockGraph []StaticEdge    `json:"lock_graph"`
+	FSMGraph  []FSMTransition `json:"fsm_graph"`
 }
 
 // JSON renders the result in a stable form: findings sorted by
@@ -139,9 +163,17 @@ func (r *Result) JSON() []byte {
 	return append(b, '\n')
 }
 
-// Run executes every pass over the program and returns the sorted,
-// unsuppressed findings plus the static lock graph.
-func Run(p *Program) *Result {
+// Run executes every pass over the program — independent passes run
+// concurrently on a single shared type-checked load — and returns the
+// sorted, unsuppressed findings plus the static lock and fsm graphs.
+func Run(p *Program) *Result { return run(p, true) }
+
+// RunSerial is Run with the passes executed sequentially; fsvet's
+// -bench-out uses it to keep an honest before/after record of the
+// concurrent scheduling in BENCH_vet.json.
+func RunSerial(p *Program) *Result { return run(p, false) }
+
+func run(p *Program, parallel bool) *Result {
 	v := &vetter{prog: p, sup: collectDirectives(p)}
 	v.findings = append(v.findings, v.sup.malformed...)
 
@@ -149,15 +181,54 @@ func Run(p *Program) *Result {
 	mk := v.collectMarkers()
 	v.mk = mk
 	_, hot := hotPathSet(cg, mk)
-	v.checkDeterminism()
-	v.checkReach(cg)
-	v.checkUnits()
-	la, lockGraph := v.checkLocks(cg, hot)
-	v.checkCharge(cg)
-	v.checkEscape()
-	v.checkAlloc(cg, hot)
-	v.checkShard(cg, hot, la, mk)
-	v.checkMailbox(cg, mk)
+
+	var lockGraph []StaticEdge
+	var fsmGraph []FSMTransition
+	// Pass groups are independent of each other (shard needs the lock
+	// analysis, so it chains after lockorder). All shared inputs —
+	// program, call graph, markers, type info — are read-only by now;
+	// findings and suppression hits funnel through the vetter mutex.
+	groups := []func(){
+		func() { v.checkDeterminism() },
+		func() { v.checkReach(cg) },
+		func() { v.checkUnits() },
+		func() {
+			var la *lockAnalysis
+			la, lockGraph = v.checkLocks(cg, hot)
+			v.checkShard(cg, hot, la, mk)
+		},
+		func() { v.checkCharge(cg) },
+		func() { v.checkEscape() },
+		func() { v.checkAlloc(cg, hot) },
+		func() { v.checkMailbox(cg, mk) },
+		func() { fsmGraph = v.checkFSM(cg) },
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g func()) {
+				defer wg.Done()
+				g()
+			}(g)
+		}
+		wg.Wait()
+	} else {
+		for _, g := range groups {
+			g()
+		}
+	}
+
+	// Stale waivers: an //fsvet:ignore or //fsvet:fsm directive that
+	// suppressed nothing this run protects nothing and must go.
+	for _, td := range v.sup.tracked {
+		if !v.sup.used[td.key] {
+			v.findings = append(v.findings, Finding{
+				File: td.key.file, Line: td.key.line, Col: td.col, Pass: PassDirective,
+				Msg: fmt.Sprintf("stale %s directive: no %s finding on this line or the next to suppress; remove it", td.text, td.key.pass),
+			})
+		}
+	}
 
 	sort.Slice(v.findings, func(i, j int) bool {
 		a, b := v.findings[i], v.findings[j]
@@ -175,7 +246,7 @@ func Run(p *Program) *Result {
 		}
 		return a.Msg < b.Msg
 	})
-	return &Result{Findings: v.findings, LockGraph: lockGraph}
+	return &Result{Findings: v.findings, LockGraph: lockGraph, FSMGraph: fsmGraph}
 }
 
 // ApplyBaseline removes findings recorded in the baseline, returning
@@ -216,11 +287,14 @@ func ParseBaseline(data []byte) ([]Finding, error) {
 	return fs, nil
 }
 
-// vetter carries the shared state of one Run.
+// vetter carries the shared state of one Run. The mutex serializes
+// finding appends and suppression-hit bookkeeping across the
+// concurrently running passes.
 type vetter struct {
 	prog     *Program
 	sup      *suppressor
 	mk       *markers
+	mu       sync.Mutex
 	findings []Finding
 }
 
@@ -228,12 +302,25 @@ type vetter struct {
 // above) suppresses the pass.
 func (v *vetter) report(pos token.Pos, pass, format string, args ...any) {
 	tp := v.prog.RelPos(pos)
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if v.sup.suppressed(tp.Filename, tp.Line, pass) {
 		return
 	}
 	v.findings = append(v.findings, Finding{
 		File: tp.Filename, Line: tp.Line, Col: tp.Column,
 		Pass: pass, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// reportGraph files a position-less, graph-level finding (a property of
+// the whole extraction rather than one site); it cannot be waived with
+// a line directive.
+func (v *vetter) reportGraph(pass, file, format string, args ...any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.findings = append(v.findings, Finding{
+		File: file, Pass: pass, Msg: fmt.Sprintf(format, args...),
 	})
 }
 
@@ -245,20 +332,43 @@ type supKey struct {
 	pass string
 }
 
+// trackedDirective is a waiver eligible for staleness reporting:
+// //fsvet:ignore and //fsvet:fsm directives must suppress something
+// every run or be removed. (//fsvet:shared markers and federated
+// //fslint:ignore directives are excluded — the former is state
+// documentation as much as a waiver, the latter is fslint's to audit.)
+type trackedDirective struct {
+	key  supKey
+	col  int
+	text string
+}
+
 type suppressor struct {
 	lines     map[supKey]bool
+	used      map[supKey]bool
+	tracked   []trackedDirective
 	malformed []Finding
 }
 
+// suppressed reports (and records, for staleness) whether a directive
+// covers a finding of the pass at the line or the line above.
 func (s *suppressor) suppressed(file string, line int, pass string) bool {
-	return s.lines[supKey{file, line, pass}] || s.lines[supKey{file, line - 1, pass}]
+	hit := false
+	for _, k := range []supKey{{file, line, pass}, {file, line - 1, pass}} {
+		if s.lines[k] {
+			s.used[k] = true
+			hit = true
+		}
+	}
+	return hit
 }
 
-// collectDirectives gathers //fsvet:ignore directives (and the fslint
-// ones they federate with) across every loaded file. Malformed fsvet
-// directives are findings: they silently protect nothing.
+// collectDirectives gathers //fsvet:ignore and //fsvet:fsm directives
+// (and the fslint ones they federate with) across every loaded file.
+// Malformed fsvet directives are findings: they silently protect
+// nothing.
 func collectDirectives(p *Program) *suppressor {
-	s := &suppressor{lines: map[supKey]bool{}}
+	s := &suppressor{lines: map[supKey]bool{}, used: map[supKey]bool{}}
 	for _, ip := range p.Paths {
 		for _, file := range p.Files[ip] {
 			for _, cg := range file.Comments {
@@ -283,13 +393,26 @@ func (s *suppressor) directive(p *Program, c *ast.Comment) {
 				Pass: PassDirective, Msg: "fsvet:ignore needs a pass and a reason: //fsvet:ignore <pass> <reason>"})
 		case !knownPasses[fields[0]]:
 			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
-				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore names unknown pass %q (known: determinism, reach, units, lockorder, charge, escape, alloc, shard, mailbox)", fields[0])})
+				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore names unknown pass %q (known: determinism, reach, units, lockorder, charge, escape, alloc, shard, mailbox, fsm)", fields[0])})
 		case len(fields) < 2:
 			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
 				Pass: PassDirective, Msg: fmt.Sprintf("fsvet:ignore %s needs a reason", fields[0])})
 		default:
-			s.lines[supKey{tp.Filename, tp.Line, fields[0]}] = true
+			k := supKey{tp.Filename, tp.Line, fields[0]}
+			s.lines[k] = true
+			s.tracked = append(s.tracked, trackedDirective{key: k, col: tp.Column, text: "//fsvet:ignore " + fields[0]})
 		}
+	case strings.HasPrefix(text, "fsvet:fsm"):
+		// Site-level waiver for the fsm pass, with the audit reason
+		// inline; a reasonless one protects nothing.
+		if len(strings.Fields(strings.TrimPrefix(text, "fsvet:fsm"))) == 0 {
+			s.malformed = append(s.malformed, Finding{File: tp.Filename, Line: tp.Line, Col: tp.Column,
+				Pass: PassDirective, Msg: "fsvet:fsm needs a reason: //fsvet:fsm <reason>"})
+			return
+		}
+		k := supKey{tp.Filename, tp.Line, PassFSM}
+		s.lines[k] = true
+		s.tracked = append(s.tracked, trackedDirective{key: k, col: tp.Column, text: "//fsvet:fsm"})
 	case strings.HasPrefix(text, "fsvet:shared"):
 		// A well-formed site-level shared waiver also suppresses the
 		// shard pass on its line; collectMarkers reports malformed ones.

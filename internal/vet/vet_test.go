@@ -11,6 +11,8 @@ import (
 	"testing"
 
 	"fastsocket/internal/lock"
+	"fastsocket/internal/stats"
+	"fastsocket/internal/tcp"
 )
 
 const repoRoot = "../.."
@@ -37,6 +39,7 @@ func corpusOverlay(t *testing.T) map[string]string {
 		"fastsocket/internal/kernel/vetcorpus_escape": abs("escape"),
 		"fastsocket/internal/kernel/vetcorpus_alloc":  abs("alloc"),
 		"fastsocket/internal/kernel/vetcorpus_shard":  abs("shard"),
+		"fastsocket/internal/kernel/vetcorpus_fsm":    abs("fsm"),
 		"fastsocket/vetcorpus/reachutil":              abs("reachutil"),
 	}
 }
@@ -132,17 +135,24 @@ func TestGoldenCorpus(t *testing.T) {
 			line: 13,
 			re:   regexp.MustCompile(`fsvet:mailbox needs a reason`),
 		},
+		expectation{
+			file: "internal/vet/testdata/corpus/fsm/fsm.go",
+			line: 121,
+			re:   regexp.MustCompile(`fsvet:fsm needs a reason`),
+		},
 	)
 
 	inCorpus := func(f Finding) bool {
 		return strings.HasPrefix(f.File, "internal/vet/testdata/")
 	}
 
-	var repoFindings, corpusFindings, graphFindings []Finding
+	var repoFindings, corpusFindings, graphFindings, fsmGraphFindings []Finding
 	for _, f := range res.Findings {
 		switch {
 		case f.File == "(lock-order graph)":
 			graphFindings = append(graphFindings, f)
+		case f.File == "(fsm graph)":
+			fsmGraphFindings = append(fsmGraphFindings, f)
 		case inCorpus(f):
 			corpusFindings = append(corpusFindings, f)
 		default:
@@ -186,6 +196,41 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 	if !foundInversion {
 		t.Errorf("corpus lock-order inversion (corpus.a <-> corpus.b) not reported")
+	}
+
+	// The corpus spec's deliberately unimplemented DONE -> GHOST edge
+	// must surface as the sole fsm-graph finding: the real TCP machine's
+	// spec and implementation agree edge for edge.
+	foundGhost := false
+	for _, f := range fsmGraphFindings {
+		if f.Pass == PassFSM && strings.Contains(f.Msg, "DONE -> GHOST") && strings.Contains(f.Msg, "no static site") {
+			foundGhost = true
+		} else {
+			t.Errorf("unexpected fsm graph finding: %s", f)
+		}
+	}
+	if !foundGhost {
+		t.Errorf("corpus spec edge DONE -> GHOST without a site not reported")
+	}
+
+	// The extracted static relation must carry both machines, and the
+	// TCP machine must match the committed spec exactly (every spec edge
+	// extracted, no extras — extras would also be findings above).
+	tcpSpec := TCPSpec()
+	static := map[string]bool{}
+	for _, tr := range res.FSMGraph {
+		if tr.Type == tcpSpec.Type {
+			static[tr.From+" -> "+tr.To] = true
+		}
+	}
+	if len(static) != len(tcpSpec.Transitions) {
+		t.Errorf("extracted %d TCP transitions, spec has %d", len(static), len(tcpSpec.Transitions))
+	}
+	for _, tr := range tcpSpec.Transitions {
+		key := tcpSpec.StateName(tr.From) + " -> " + tcpSpec.StateName(tr.To)
+		if !static[key] {
+			t.Errorf("spec transition %s not extracted from the module", key)
+		}
 	}
 
 	// The static graph must include both corpus edge directions (the
@@ -232,7 +277,7 @@ func TestRunIsDeterministic(t *testing.T) {
 	if !bytes.Equal(out[0], out[1]) {
 		t.Fatalf("two runs produced different JSON:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out[0], out[1])
 	}
-	for _, pass := range []string{PassAlloc, PassShard} {
+	for _, pass := range []string{PassAlloc, PassShard, PassFSM} {
 		if !bytes.Contains(out[0], []byte(`"`+pass+`"`)) {
 			t.Errorf("determinism run produced no %s findings — the corpus should provoke some", pass)
 		}
@@ -269,6 +314,69 @@ func TestCrossCheck(t *testing.T) {
 	})
 	if !clean.OK() || len(clean.Untested) != 0 {
 		t.Fatalf("expected clean cross-check, got %s", clean.Summary())
+	}
+}
+
+// TestFSMCross seeds synthetic observed matrices against a small spec
+// and static graph: an observed edge with no static site fails the
+// check, an unexercised non-defensive spec edge counts against
+// coverage, and defensive edges stay out of the denominator.
+func TestFSMCross(t *testing.T) {
+	spec := &FSMSpec{
+		Type:   "t.S",
+		States: []string{"A", "B", "C"},
+		Transitions: []SpecTransition{
+			{From: 0, To: 1, Why: "open"},
+			{From: 1, To: 2, Why: "close"},
+			{From: 2, To: 0, Why: "sweep", Defensive: true},
+		},
+	}
+	graph := []FSMTransition{
+		{Type: "t.S", From: "A", To: "B"},
+		{Type: "t.S", From: "B", To: "C"},
+		{Type: "t.S", From: "C", To: "A"},
+		{Type: "other.T", From: "B", To: "A"}, // other machine: must not leak in
+	}
+	observed := []stats.FSMEdge{
+		{From: "A", To: "B", Count: 10},
+		{From: "B", To: "A", Count: 1}, // no static site in t.S
+	}
+	res := FSMCross(spec, graph, observed)
+	if res.OK(0.9) {
+		t.Fatalf("expected failure, got %+v", res)
+	}
+	if len(res.Unexpected) != 1 || !strings.Contains(res.Unexpected[0], "B -> A") {
+		t.Errorf("Unexpected = %v, want the B -> A edge", res.Unexpected)
+	}
+	if res.Required != 2 || res.Covered != 1 {
+		t.Errorf("coverage = %d/%d, want 1/2 (defensive edge excluded)", res.Covered, res.Required)
+	}
+	if len(res.Uncovered) != 1 || !strings.Contains(res.Uncovered[0], "B -> C") {
+		t.Errorf("Uncovered = %v, want B -> C", res.Uncovered)
+	}
+
+	// Full legal coverage passes even with the defensive edge silent.
+	clean := FSMCross(spec, graph, []stats.FSMEdge{
+		{From: "A", To: "B", Count: 5},
+		{From: "B", To: "C", Count: 5},
+	})
+	if !clean.OK(0.9) || clean.Coverage() != 1 {
+		t.Fatalf("expected clean cross-check, got %+v", clean)
+	}
+}
+
+// TestTCPSpecNames pins the spec's state table to tcp.State's String
+// rendering so the runtime tracer's edge names and the static graph's
+// can never drift apart.
+func TestTCPSpecNames(t *testing.T) {
+	spec := TCPSpec()
+	if len(spec.States) != tcp.NumStates {
+		t.Fatalf("spec has %d states, tcp has %d", len(spec.States), tcp.NumStates)
+	}
+	for i, name := range spec.States {
+		if want := tcp.State(i).String(); name != want {
+			t.Errorf("state %d named %q in spec, %q in tcp", i, name, want)
+		}
 	}
 }
 
